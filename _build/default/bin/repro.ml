@@ -1,0 +1,174 @@
+(* memclust-repro: command-line driver for the paper reproduction.
+
+   Subcommands:
+     list                      — list experiments and workloads
+     experiment <id> [...]     — reproduce a table/figure by id
+     run <workload>            — base-vs-clustered on one workload
+     show <workload>           — print base and transformed IR *)
+
+open Cmdliner
+open Memclust_ir
+open Memclust_codegen
+open Memclust_sim
+open Memclust_workloads
+open Memclust_harness
+
+let list_cmd =
+  let doc = "List experiment ids and workloads." in
+  let run () =
+    print_endline "experiments:";
+    List.iter (fun id -> Printf.printf "  %s\n" id) Figures.all_ids;
+    print_endline "workloads:";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-11s %s\n" w.Workload.name w.Workload.description)
+      (Registry.latbench () :: Registry.applications ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let experiment_cmd =
+  let doc = "Reproduce one or more of the paper's tables/figures." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    List.iter
+      (fun id ->
+        match Figures.by_id id with
+        | Some f ->
+            Printf.printf "==== %s ====\n%s\n\n%!" id (f ())
+        | None ->
+            Printf.eprintf "unknown experiment %s (see `repro list`)\n" id;
+            exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let procs_arg =
+  Arg.(value & opt (some int) None & info [ "p"; "procs" ] ~docv:"N")
+
+let lookup name =
+  match Registry.by_name name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %s (see `repro list`)\n" name;
+      exit 1
+
+let run_cmd =
+  let doc = "Simulate one workload, base vs clustered, and report." in
+  let run name procs =
+    let w = lookup name in
+    let nprocs = Option.value ~default:w.Workload.mp_procs procs in
+    let go version =
+      Experiment.execute_cached
+        { Experiment.workload = w; config = Config.base; nprocs; version }
+    in
+    let b = go Experiment.Base in
+    let c = go Experiment.Clustered in
+    Format.printf "== %s on %d processor(s) ==@." w.Workload.name nprocs;
+    let mix label (o : Experiment.outcome) =
+      let data = Data.create o.Experiment.program in
+      w.Workload.init data;
+      let lowered = Lower.build ~nprocs o.Experiment.program data in
+      Format.printf "%s mix: %a@." label Tracestats.pp (Tracestats.of_lowered lowered)
+    in
+    mix "base     " b;
+    mix "clustered" c;
+    (match c.Experiment.cluster_report with
+    | Some r -> Format.printf "%a@.@." Memclust_cluster.Driver.pp_report r
+    | None -> ());
+    Format.printf "base:@.  %a@.clustered:@.  %a@." Machine.pp_result
+      b.Experiment.result Machine.pp_result c.Experiment.result;
+    Format.printf "execution time reduction: %.1f%%@."
+      (100.0
+      *. (1.0
+         -. float_of_int (Experiment.exec_cycles c)
+            /. float_of_int (Experiment.exec_cycles b)))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ procs_arg)
+
+let analyze_cmd =
+  let doc =
+    "Run the paper's analyses on a workload: locality classes, dependence \
+     graphs, recurrences and the f estimate for every innermost loop."
+  in
+  let run name =
+    let w = lookup name in
+    let open Memclust_locality in
+    let open Memclust_depgraph in
+    let open Memclust_cluster in
+    let p = Program.renumber w.Workload.program in
+    let machine = Experiment.machine_of_config Config.base in
+    let loc = Locality.analyze ~line_size:machine.Machine_model.line_size p in
+    Format.printf "==== %s: locality classification ====@.%a@." w.Workload.name
+      Locality.pp loc;
+    let data = Data.create p in
+    w.Workload.init data;
+    let prof = Profile.run ~line_size:machine.Machine_model.line_size p data in
+    let pm id = Profile.miss_rate prof id in
+    Format.printf "==== irregular miss rates (profiled P_m) ====@.";
+    List.iter
+      (fun (info : Locality.info) ->
+        match info.Locality.kind with
+        | Locality.Leading_irregular ->
+            Format.printf "  #%d: P_m = %.3f@." info.Locality.id
+              (pm info.Locality.id)
+        | _ -> ())
+      (Locality.infos loc);
+    (* every innermost loop-like construct *)
+    let rec walk path stmt =
+      match stmt with
+      | Ast.Loop l ->
+          let nested =
+            List.filter
+              (function Ast.Loop _ | Ast.Chase _ -> true | _ -> false)
+              l.Ast.body
+          in
+          if nested = [] then report path (Depgraph.Counted l)
+          else List.iter (walk (path @ [ l.Ast.var ])) l.Ast.body
+      | Ast.Chase c -> report path (Depgraph.Chased c)
+      | Ast.If (_, t, e) ->
+          List.iter (walk path) t;
+          List.iter (walk path) e
+      | Ast.Assign _ | Ast.Use _ | Ast.Barrier | Ast.Prefetch _ -> ()
+    and report path inner =
+      let label =
+        match inner with
+        | Depgraph.Counted l -> "loop " ^ l.Ast.var
+        | Depgraph.Chased c -> "chase " ^ c.Ast.cvar
+      in
+      let graph = Depgraph.analyze loc inner in
+      let fest = Festimate.compute machine loc ~pm ~graph inner in
+      Format.printf "@.==== innermost %s (under %s) ====@.%a@.alpha = %.2f@.%a@."
+        label
+        (String.concat ">" path)
+        Depgraph.pp graph (Depgraph.alpha graph) Festimate.pp fest
+    in
+    List.iter (walk []) p.Ast.body
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ workload_arg)
+
+let show_cmd =
+  let doc = "Print a workload's IR before and after clustering." in
+  let run name =
+    let w = lookup name in
+    Format.printf "==== %s: base ====@.%a@.@." w.Workload.name Pretty.pp_program
+      w.Workload.program;
+    let p, report = Experiment.transform Config.base w in
+    Format.printf "==== clustering decisions ====@.%a@.@."
+      Memclust_cluster.Driver.pp_report report;
+    Format.printf "==== %s: clustered ====@.%a@." w.Workload.name
+      Pretty.pp_program p
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ workload_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Code Transformations to Improve Memory Parallelism' \
+     (Pai & Adve, MICRO-32 1999)"
+  in
+  let info = Cmd.info "repro" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; experiment_cmd; run_cmd; show_cmd; analyze_cmd ]))

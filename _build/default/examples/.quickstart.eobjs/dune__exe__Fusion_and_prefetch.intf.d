@@ -1,0 +1,1 @@
+examples/fusion_and_prefetch.mli:

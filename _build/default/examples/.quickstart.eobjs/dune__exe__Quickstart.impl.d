@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Builder Config Data Driver Exec Format Lower Machine Memclust_cluster Memclust_codegen Memclust_ir Memclust_sim Pretty

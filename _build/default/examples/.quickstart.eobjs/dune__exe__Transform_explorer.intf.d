@@ -1,0 +1,1 @@
+examples/transform_explorer.mli:

@@ -1,0 +1,88 @@
+(* The two extensions from the paper's future-work section (§6):
+
+   1. Loop fusion for unnested loops — two separate streaming loops each
+      carry a cache-line recurrence with f too small to fill the MSHRs;
+      fusing them doubles the leading references per iteration, exactly
+      like unroll-and-jam does for nested loops.
+   2. Software prefetching [8] — on the fused kernel, compare prefetching
+      alone, clustering alone, and both.
+
+   Run with: dune exec examples/fusion_and_prefetch.exe *)
+
+open Memclust_ir
+open Memclust_transform
+open Memclust_cluster
+open Memclust_codegen
+open Memclust_sim
+
+let n = 32768
+
+let base_program =
+  let open Builder in
+  program "two_streams"
+    ~arrays:
+      [
+        array_decl "a" n;
+        array_decl "b" n;
+        array_decl "suma" 8;
+        array_decl "sumb" 8;
+      ]
+    [
+      loop "i" (cst 0) (cst n)
+        [ store (aref "suma" (cst 0)) (arr "suma" (cst 0) + arr "a" (ix "i")) ];
+      loop "i" (cst 0) (cst n)
+        [ store (aref "sumb" (cst 0)) (arr "sumb" (cst 0) + arr "b" (ix "i")) ];
+    ]
+
+let init data =
+  for i = 0 to n - 1 do
+    Data.set data "a" i (Ast.Vfloat (float_of_int i *. 0.5));
+    Data.set data "b" i (Ast.Vfloat (float_of_int i *. 0.25))
+  done;
+  Data.set data "suma" 0 (Ast.Vfloat 0.0);
+  Data.set data "sumb" 0 (Ast.Vfloat 0.0)
+
+let simulate label program =
+  let data = Data.create program in
+  init data;
+  let lowered = Lower.build program data in
+  let r = Machine.run Config.base ~home:(fun _ -> 0) lowered in
+  Format.printf "%-22s %8d cycles, data stall %8.0f, prefetches %d (late %d)@."
+    label r.Machine.cycles r.Machine.breakdown.Breakdown.data_stall
+    r.Machine.prefetches r.Machine.late_prefetches;
+  r
+
+let () =
+  Format.printf "=== two separate streaming loops ===@.%a@.@." Pretty.pp_program
+    base_program;
+  let rb = simulate "base (two loops)" base_program in
+
+  (* fusion: one loop, two leading streams *)
+  let fused_program, nfused = Fuse.fuse_adjacent base_program in
+  Format.printf "@.fused %d pair(s):@.%a@.@." nfused Pretty.pp_program fused_program;
+  ignore (simulate "fused" fused_program);
+
+  (* clustering on top of fusion *)
+  let clustered, _ = Driver.run ~init fused_program in
+  let rc = simulate "fused + clustered" clustered in
+
+  (* prefetching variants *)
+  let prefetched, _ = Prefetch_pass.insert base_program in
+  ignore (simulate "prefetch only" prefetched);
+  let both, _ = Prefetch_pass.insert clustered in
+  ignore (simulate "everything" both);
+
+  Format.printf "@.fusion+clustering speedup over base: %.2fx@."
+    (float_of_int rb.Machine.cycles /. float_of_int rc.Machine.cycles);
+
+  (* the oracle agrees throughout *)
+  let check p =
+    let d1 = Data.create base_program and d2 = Data.create p in
+    init d1;
+    init d2;
+    Exec.run base_program d1;
+    Exec.run p d2;
+    assert (Data.equal d1 d2)
+  in
+  List.iter check [ fused_program; clustered; prefetched; both ];
+  Format.printf "all variants verified against the interpreter oracle@."

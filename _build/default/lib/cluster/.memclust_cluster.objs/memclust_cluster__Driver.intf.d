@@ -1,0 +1,1 @@
+lib/cluster/driver.mli: Ast Data Format Machine_model Memclust_ir

@@ -1,0 +1,1 @@
+lib/cluster/festimate.ml: Depgraph Float Format List Locality Machine_model Measure Memclust_depgraph Memclust_ir Memclust_locality Program

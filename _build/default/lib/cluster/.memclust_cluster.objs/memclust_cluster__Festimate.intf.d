@@ -1,0 +1,1 @@
+lib/cluster/festimate.mli: Depgraph Format Locality Machine_model Memclust_depgraph Memclust_locality

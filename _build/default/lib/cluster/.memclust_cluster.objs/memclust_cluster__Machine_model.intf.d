@@ -1,0 +1,1 @@
+lib/cluster/machine_model.mli: Format

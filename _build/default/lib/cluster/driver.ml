@@ -1,0 +1,439 @@
+open Memclust_ir
+open Memclust_locality
+open Memclust_depgraph
+open Memclust_transform
+open Ast
+
+type action =
+  | Unroll_jam of {
+      target_var : string;
+      factor : int;
+      f_before : float;
+      f_after : float;
+      alpha : float;
+    }
+  | Inner_unroll of { inner_var : string; factor : int }
+  | Rejected of { target_var : string; reason : string }
+
+type nest_report = {
+  nest_index : int;
+  inner_desc : string;
+  alpha : float;
+  f_initial : float;
+  actions : action list;
+}
+
+type report = { nests : nest_report list; scalar_replaced : int }
+
+type scheduler = Pack_misses | Balanced | No_schedule
+
+type options = {
+  machine : Machine_model.t;
+  profile_pm : bool;
+  do_unroll_jam : bool;
+  do_window : bool;
+  do_scalar_replace : bool;
+  do_schedule : bool;
+  scheduler : scheduler;
+}
+
+let default_options =
+  {
+    machine = Machine_model.base;
+    profile_pm = true;
+    do_unroll_jam = true;
+    do_window = true;
+    do_scalar_replace = true;
+    do_schedule = true;
+    scheduler = Pack_misses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Locating the innermost loop-like construct of a nest                *)
+(* ------------------------------------------------------------------ *)
+
+type located = { inner : Depgraph.inner; enclosing : loop list }
+
+let inner_desc = function
+  | Depgraph.Counted l -> l.var
+  | Depgraph.Chased c -> c.cvar
+
+(* All innermost loop-like constructs under [l], each with its enclosing
+   counted loops (outermost first). A loop directly containing a chase is
+   not itself innermost — the chase is. *)
+let locate_all (nest : loop) : located list =
+  let acc = ref [] in
+  let rec walk path (l : loop) =
+    let nested =
+      List.filter_map
+        (function Loop l' -> Some (`L l') | Chase c -> Some (`C c) | _ -> None)
+        l.body
+    in
+    if nested = [] then acc := { inner = Depgraph.Counted l; enclosing = path } :: !acc
+    else
+      List.iter
+        (function
+          | `L l' -> walk (path @ [ l ]) l'
+          | `C c ->
+              acc := { inner = Depgraph.Chased c; enclosing = path @ [ l ] } :: !acc)
+        nested
+  in
+  walk [] nest;
+  List.rev !acc
+
+(* Innermost constructs are identified across transformations by their
+   loop variable / chase pointer name (unroll-and-jam keeps both). *)
+let inner_key = function
+  | Depgraph.Counted l -> "L:" ^ l.var
+  | Depgraph.Chased c -> "C:" ^ c.cvar
+
+(* Rename loop variables so every counted loop in the program has a unique
+   variable. Sibling loops reusing a variable name (FFT's per-stage nests,
+   Ocean's two sweeps) would otherwise be indistinguishable to the
+   name-keyed replacement below. *)
+let uniquify_loops (p : program) =
+  let taken = Hashtbl.create 32 in
+  let fresh v =
+    if not (Hashtbl.mem taken v) then begin
+      Hashtbl.add taken v ();
+      v
+    end
+    else begin
+      let rec pick k =
+        let cand = Printf.sprintf "%s$%d" v k in
+        if Hashtbl.mem taken cand then pick (k + 1) else cand
+      in
+      let w = pick 1 in
+      Hashtbl.add taken w ();
+      w
+    end
+  in
+  let rec walk stmt =
+    match stmt with
+    | Loop l ->
+        let w = fresh l.var in
+        let stmt' =
+          if String.equal w l.var then Loop l
+          else Memclust_transform.Subst.rename_var l.var w (Loop l)
+        in
+        (match stmt' with
+        | Loop l' -> Loop { l' with body = List.map walk l'.body }
+        | _ -> assert false)
+    | Chase c -> Chase { c with cbody = List.map walk c.cbody }
+    | If (cond, t, e) -> If (cond, List.map walk t, List.map walk e)
+    | Assign _ | Use _ | Barrier | Prefetch _ -> stmt
+  in
+  { p with body = List.map walk p.body }
+
+(* Replace the first loop (in program order) with variable [var] by the
+   statement list [repl]. Exactly one replacement happens per call. *)
+let replace_loop ~var ~repl stmt =
+  let found = ref false in
+  let rec go stmt =
+    match stmt with
+    | Loop l when (not !found) && String.equal l.var var ->
+        found := true;
+        repl
+    | Loop l -> [ Loop { l with body = List.concat_map go l.body } ]
+    | If (c, t, e) -> [ If (c, List.concat_map go t, List.concat_map go e) ]
+    | Chase c -> [ Chase { c with cbody = List.concat_map go c.cbody } ]
+    | Assign _ | Use _ | Barrier | Prefetch _ -> [ stmt ]
+  in
+  go stmt
+
+let replace_nth body idx repl =
+  List.concat (List.mapi (fun i st -> if i = idx then repl else [ st ]) body)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis wrappers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_pm options ~init p =
+  if not options.profile_pm then fun _ -> 1.0
+  else begin
+    let data = Data.create p in
+    (match init with Some f -> f data | None -> ());
+    let prof =
+      Profile.run ~line_size:options.machine.Machine_model.line_size p data
+    in
+    fun id -> Profile.miss_rate prof id
+  end
+
+(* Evaluate f for the innermost construct identified by [key] inside the
+   nest at [idx] in [p]. *)
+let evaluate options ~init p idx ~key =
+  let loc = Locality.analyze ~line_size:options.machine.Machine_model.line_size p in
+  let pm = make_pm options ~init p in
+  match List.nth p.body idx with
+  | Loop nest -> (
+      match
+        List.find_opt (fun l -> String.equal (inner_key l.inner) key)
+          (locate_all nest)
+      with
+      | None -> None
+      | Some located ->
+          let graph = Depgraph.analyze loc located.inner in
+          let alpha = Depgraph.alpha graph in
+          let fest =
+            Festimate.compute options.machine loc ~pm ~graph located.inner
+          in
+          Some (loc, located, graph, alpha, fest))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Unroll-and-jam with binary search on the degree                     *)
+(* ------------------------------------------------------------------ *)
+
+let try_factor p idx (parent : loop) enclosing n =
+  let outer_ranges =
+    Legality.ranges_of_nest ~params:p.params
+      (List.filter (fun (l : loop) -> not (String.equal l.var parent.var)) enclosing)
+  in
+  match
+    Unroll_jam.apply ~params:p.params ~outer_ranges ~factor:n parent
+  with
+  | Error e -> Error (Format.asprintf "%a" Unroll_jam.pp_error e)
+  | Ok repl ->
+      let nest_stmt = List.nth p.body idx in
+      let nest' = replace_loop ~var:parent.var ~repl nest_stmt in
+      let p' = Program.renumber { p with body = replace_nth p.body idx nest' } in
+      Ok p'
+
+let resolve_recurrences options ~init p idx ~key parent enclosing ~alpha ~f0 =
+  let lp = float_of_int options.machine.Machine_model.mshrs in
+  let target = alpha *. lp in
+  let u = options.machine.Machine_model.max_unroll in
+  (* a loop whose iterations will be block-distributed (parallel, with no
+     parallel ancestor) must keep at least max_procs chunks *)
+  let u =
+    let distributed =
+      parent.parallel
+      &&
+      let rec outside = function
+        | [] -> true
+        | (l : loop) :: rest ->
+            if String.equal l.var parent.var then true
+            else (not l.parallel) && outside rest
+      in
+      outside enclosing
+    in
+    if not distributed then u
+    else begin
+      let env v =
+        match List.assoc_opt v p.params with Some k -> k | None -> raise Exit
+      in
+      match (Affine.eval env parent.lo, Affine.eval env parent.hi) with
+      | lo, hi ->
+          let trip = max 1 ((hi - lo + parent.step - 1) / parent.step) in
+          min u (max 1 (trip / options.machine.Machine_model.max_procs))
+      | exception Exit -> u
+    end
+  in
+  (* f is monotone in the unroll degree: binary-search the largest degree
+     whose f stays within α·lp (the paper's contention-conscious rule) *)
+  let f_of n =
+    match try_factor p idx parent enclosing n with
+    | Error msg -> Error msg
+    | Ok p' -> (
+        match evaluate options ~init p' idx ~key with
+        | Some (_, _, _, _, fest) -> Ok (p', fest.Festimate.f)
+        | None -> Error "internal: nest vanished")
+  in
+  let best = ref None in
+  let last_error = ref "" in
+  let lo = ref 2 and hi = ref u in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    match f_of mid with
+    | Ok (p', f) when f <= target ->
+        best := Some (mid, p', f);
+        lo := mid + 1
+    | Ok _ -> hi := mid - 1
+    | Error msg ->
+        last_error := msg;
+        hi := mid - 1
+  done;
+  match !best with
+  | Some (n, p', f) ->
+      ( p',
+        [ Unroll_jam
+            { target_var = parent.var; factor = n; f_before = f0; f_after = f; alpha };
+        ] )
+  | None ->
+      ( p,
+        [ Rejected
+            {
+              target_var = parent.var;
+              reason =
+                (if String.equal !last_error "" then
+                   "no degree improves f within alpha*lp"
+                 else !last_error);
+            };
+        ] )
+
+(* ------------------------------------------------------------------ *)
+(* Window-constraint resolution                                        *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_window options ~init p idx ~key =
+  match evaluate options ~init p idx ~key with
+  | None -> (p, [])
+  | Some (_, located, graph, _, fest) -> (
+      let lp = float_of_int options.machine.Machine_model.mshrs in
+      let density = fest.Festimate.misses_per_iteration in
+      match located.inner with
+      | Depgraph.Counted l
+        when graph.Depgraph.recurrences = []
+             && density > 0.0
+             && fest.Festimate.f < lp ->
+          let k =
+            min options.machine.Machine_model.max_unroll
+              (max 2 (int_of_float (Float.ceil (lp /. density))))
+          in
+          (match Inner_unroll.apply ~params:p.params ~factor:k l with
+          | Error _ -> (p, [])
+          | Ok repl ->
+              let nest_stmt = List.nth p.body idx in
+              let nest' = replace_loop ~var:l.var ~repl nest_stmt in
+              let p' =
+                Program.renumber { p with body = replace_nth p.body idx nest' }
+              in
+              (p', [ Inner_unroll { inner_var = l.var; factor = k } ]))
+      | _ -> (p, []))
+
+(* ------------------------------------------------------------------ *)
+(* Miss-packing scheduling of innermost bodies                         *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_innermost options p =
+  let loc = Locality.analyze ~line_size:options.machine.Machine_model.line_size p in
+  let reorder body =
+    match options.scheduler with
+    | Pack_misses -> Schedule.pack_misses loc body
+    | Balanced -> Balanced_sched.reorder loc body
+    | No_schedule -> body
+  in
+  let rec walk stmt =
+    match stmt with
+    | Loop l ->
+        let has_nested =
+          List.exists (function Loop _ | Chase _ -> true | _ -> false) l.body
+        in
+        if has_nested then Loop { l with body = List.map walk l.body }
+        else Loop { l with body = reorder l.body }
+    | Chase c ->
+        let has_nested =
+          List.exists (function Loop _ | Chase _ -> true | _ -> false) c.cbody
+        in
+        if has_nested then Chase { c with cbody = List.map walk c.cbody }
+        else Chase { c with cbody = reorder c.cbody }
+    | If (c, t, e) -> If (c, List.map walk t, List.map walk e)
+    | Assign _ | Use _ | Barrier | Prefetch _ -> stmt
+  in
+  { p with body = List.map walk p.body }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(options = default_options) ?init (p : program) =
+  let p = Program.renumber (uniquify_loops p) in
+  let nests = ref [] in
+  let p = ref p in
+  let nest_count = List.length !p.body in
+  (* indices shift as postludes are inserted; scan the original top-level
+     statements in order, skipping statements our own transforms add *)
+  let idx = ref 0 in
+  let seen = ref 0 in
+  while !seen < nest_count && !idx < List.length !p.body do
+    (match List.nth !p.body !idx with
+    | Loop nest ->
+        let keys =
+          List.map (fun l -> inner_key l.inner) (locate_all nest)
+          |> List.sort_uniq String.compare
+        in
+        let before_len = List.length !p.body in
+        List.iter
+          (fun key ->
+            match evaluate options ~init !p !idx ~key with
+            | None -> ()
+            | Some (_, located, _, alpha, fest) ->
+                let actions = ref [] in
+                let lp = float_of_int options.machine.Machine_model.mshrs in
+                (if
+                   options.do_unroll_jam && alpha > 0.0
+                   && fest.Festimate.f < (alpha *. lp)
+                   && located.enclosing <> []
+                 then begin
+                   (* try enclosing loops from the immediate parent outward
+                      (the paper defers the deeper-nest choice to Carr &
+                      Kennedy; nearest-first is their common case) *)
+                   let candidates = List.rev located.enclosing in
+                   let rec attempt = function
+                     | [] -> ()
+                     | target :: rest ->
+                         let p', acts =
+                           resolve_recurrences options ~init !p !idx ~key target
+                             located.enclosing ~alpha ~f0:fest.Festimate.f
+                         in
+                         let succeeded =
+                           List.exists
+                             (function Unroll_jam _ -> true | _ -> false)
+                             acts
+                         in
+                         p := p';
+                         actions := !actions @ acts;
+                         if not succeeded then attempt rest
+                   in
+                   attempt candidates
+                 end);
+                (if options.do_window then begin
+                   let p', acts = resolve_window options ~init !p !idx ~key in
+                   p := p';
+                   actions := !actions @ acts
+                 end);
+                nests :=
+                  {
+                    nest_index = !idx;
+                    inner_desc = inner_desc located.inner;
+                    alpha;
+                    f_initial = fest.Festimate.f;
+                    actions = !actions;
+                  }
+                  :: !nests)
+          keys;
+        let after_len = List.length !p.body in
+        (* skip over any postlude statements appended at top level *)
+        idx := !idx + (after_len - before_len)
+    | _ -> ());
+    incr idx;
+    incr seen
+  done;
+  let p, replaced =
+    if options.do_scalar_replace then Scalar_replace.apply_innermost !p else (!p, 0)
+  in
+  let p = if options.do_schedule then schedule_innermost options p else p in
+  let p = Program.renumber p in
+  (match Program.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.Driver: transformed program invalid: " ^ msg));
+  (p, { nests = List.rev !nests; scalar_replaced = replaced })
+
+let pp_action ppf = function
+  | Unroll_jam { target_var; factor; f_before; f_after; alpha } ->
+      Format.fprintf ppf "unroll-and-jam %s by %d (f %.2f -> %.2f, alpha %.2f)"
+        target_var factor f_before f_after alpha
+  | Inner_unroll { inner_var; factor } ->
+      Format.fprintf ppf "inner-unroll %s by %d" inner_var factor
+  | Rejected { target_var; reason } ->
+      Format.fprintf ppf "no transform of %s (%s)" target_var reason
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "nest %d (inner %s): alpha=%.2f f=%.2f@," n.nest_index
+        n.inner_desc n.alpha n.f_initial;
+      List.iter (fun a -> Format.fprintf ppf "  %a@," pp_action a) n.actions)
+    r.nests;
+  Format.fprintf ppf "scalar loads eliminated: %d@]" r.scalar_replaced

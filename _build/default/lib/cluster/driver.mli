@@ -1,0 +1,71 @@
+(** End-to-end clustering driver: the compiler algorithm of paper §3.
+
+    For every top-level loop nest of a program:
+
+    + run locality analysis and (optionally) miss-rate profiling;
+    + build the memory-parallelism dependence graph of the innermost
+      loop-like construct and compute α over its recurrences;
+    + if the loop has a recurrence and f < α·lp, binary-search the largest
+      unroll-and-jam degree of the enclosing loop that keeps f ≤ α·lp
+      (recomputing locality, dependences and f after each trial, since
+      unroll-and-jam introduces and removes leading references);
+    + resolve remaining window constraints: inner-loop unrolling when the
+      misses of ⌈W/i⌉ iterations cannot fill the MSHRs, then scalar
+      replacement and miss-packing scheduling of every innermost body.
+
+    The result is a transformed program plus a report of every decision. *)
+
+open Memclust_ir
+
+type action =
+  | Unroll_jam of {
+      target_var : string;
+      factor : int;
+      f_before : float;
+      f_after : float;
+      alpha : float;
+    }
+  | Inner_unroll of { inner_var : string; factor : int }
+  | Rejected of { target_var : string; reason : string }
+
+type nest_report = {
+  nest_index : int;  (** position of the nest in the program body *)
+  inner_desc : string;  (** innermost loop variable or chase pointer *)
+  alpha : float;
+  f_initial : float;
+  actions : action list;
+}
+
+type report = {
+  nests : nest_report list;
+  scalar_replaced : int;  (** loads removed by scalar replacement *)
+}
+
+type scheduler =
+  | Pack_misses  (** the window-conscious packing of §3.3 (default) *)
+  | Balanced  (** statement-level balanced scheduling (comparison baseline) *)
+  | No_schedule
+
+type options = {
+  machine : Machine_model.t;
+  profile_pm : bool;  (** measure P_m by cache profiling (needs [init]) *)
+  do_unroll_jam : bool;
+  do_window : bool;  (** inner unrolling for window constraints *)
+  do_scalar_replace : bool;
+  do_schedule : bool;  (** run a local scheduler at all *)
+  scheduler : scheduler;
+}
+
+val default_options : options
+
+val run :
+  ?options:options ->
+  ?init:(Data.t -> unit) ->
+  Ast.program ->
+  Ast.program * report
+(** Transform the program. [init] fills a fresh store with the workload's
+    data (pointer chains, index arrays) so profiling sees real access
+    patterns; without it, irregular references are assumed to always miss
+    (P_m = 1). The returned program is renumbered and validated. *)
+
+val pp_report : Format.formatter -> report -> unit

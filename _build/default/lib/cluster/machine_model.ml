@@ -1,0 +1,17 @@
+type t = {
+  window : int;
+  mshrs : int;
+  line_size : int;
+  max_unroll : int;
+  max_procs : int;
+}
+
+let base =
+  { window = 64; mshrs = 10; line_size = 64; max_unroll = 16; max_procs = 16 }
+
+let exemplar_like =
+  { window = 56; mshrs = 10; line_size = 32; max_unroll = 16; max_procs = 16 }
+
+let pp ppf t =
+  Format.fprintf ppf "window=%d mshrs=%d line=%dB max_unroll=%d max_procs=%d"
+    t.window t.mshrs t.line_size t.max_unroll t.max_procs

@@ -1,0 +1,23 @@
+(** Machine model parameters consumed by the clustering framework — the
+    handful of numbers the paper's analysis needs (not the full simulator
+    configuration). *)
+
+type t = {
+  window : int;  (** W: out-of-order instruction window size *)
+  mshrs : int;  (** lp: maximum simultaneous outstanding misses *)
+  line_size : int;  (** external cache line size, bytes *)
+  max_unroll : int;  (** U: cap on unroll-and-jam degree (code expansion,
+                         register pressure, conflict-miss risk) *)
+  max_procs : int;
+      (** when the unroll target is the loop whose iterations are
+          distributed across processors, keep at least this many chunks —
+          unrolling must not consume the parallel dimension *)
+}
+
+val base : t
+(** The paper's base simulated processor: W=64, 10 MSHRs, 64 B lines. *)
+
+val exemplar_like : t
+(** HP PA-8000-like: W=56, 10 outstanding misses, 32 B lines. *)
+
+val pp : Format.formatter -> t -> unit

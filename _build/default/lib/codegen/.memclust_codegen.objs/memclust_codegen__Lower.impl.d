@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Ast Exec Memclust_ir Trace

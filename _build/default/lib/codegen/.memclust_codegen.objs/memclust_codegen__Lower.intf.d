@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Ast Data Memclust_ir Trace

@@ -1,0 +1,1 @@
+lib/codegen/trace.ml: Array Bytes Char Printf

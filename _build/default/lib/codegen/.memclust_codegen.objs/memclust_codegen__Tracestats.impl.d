@@ -1,0 +1,1 @@
+lib/codegen/tracestats.ml: Array Format Hashtbl Lower Trace

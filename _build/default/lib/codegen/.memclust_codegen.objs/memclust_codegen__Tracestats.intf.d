@@ -1,0 +1,1 @@
+lib/codegen/tracestats.mli: Format Lower Trace

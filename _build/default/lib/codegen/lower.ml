@@ -1,0 +1,65 @@
+open Memclust_ir
+
+type t = { traces : Trace.t array; barriers : int }
+
+(* Dependence tokens pack (trace index, processor): tokens from another
+   processor are dropped at use (the value is considered available). *)
+let proc_bits = 6
+let proc_mask = (1 lsl proc_bits) - 1
+
+let build ?(nprocs = 1) (p : Ast.program) data =
+  assert (nprocs >= 1 && nprocs <= proc_mask);
+  let traces = Array.init nprocs (fun _ -> Trace.create ()) in
+  let cur = ref 0 in
+  let barriers = ref 0 in
+  let tok idx = (idx lsl proc_bits) lor !cur in
+  let local t =
+    if t < 0 then -1
+    else if t land proc_mask = !cur then t lsr proc_bits
+    else -1
+  in
+  let two deps =
+    match deps with
+    | [] -> (-1, -1)
+    | [ a ] -> (local a, -1)
+    | [ a; b ] -> (local a, local b)
+    | a :: b :: _ -> (local a, local b)
+  in
+  let push ~kind ~aux ~ref_ deps =
+    let dep1, dep2 = two deps in
+    tok (Trace.push traces.(!cur) ~kind ~aux ~dep1 ~dep2 ~ref_)
+  in
+  let emit =
+    {
+      Exec.e_int = (fun deps -> push ~kind:Trace.Int_op ~aux:1 ~ref_:0 deps);
+      e_fp = (fun ~lat deps -> push ~kind:Trace.Fp_op ~aux:lat ~ref_:0 deps);
+      e_load =
+        (fun ~ref_id ~addr deps -> push ~kind:Trace.Load ~aux:addr ~ref_:ref_id deps);
+      e_store =
+        (fun ~ref_id ~addr deps ->
+          push ~kind:Trace.Store ~aux:addr ~ref_:ref_id deps);
+      e_prefetch =
+        (fun ~ref_id ~addr deps ->
+          ignore (push ~kind:Trace.Prefetch_op ~aux:addr ~ref_:ref_id deps));
+      e_branch =
+        (fun deps -> ignore (push ~kind:Trace.Branch ~aux:1 ~ref_:0 deps));
+      e_barrier =
+        (fun () ->
+          if nprocs > 1 then begin
+            incr barriers;
+            let id = !barriers in
+            let saved = !cur in
+            for p = 0 to nprocs - 1 do
+              cur := p;
+              ignore (push ~kind:Trace.Barrier_op ~aux:id ~ref_:0 [])
+            done;
+            cur := saved
+          end);
+      e_set_proc = (fun p -> cur := min (nprocs - 1) (max 0 p));
+    }
+  in
+  Exec.run ~emit ~nprocs p data;
+  { traces; barriers = !barriers }
+
+let total_instructions t =
+  Array.fold_left (fun acc tr -> acc + Trace.length tr) 0 t.traces

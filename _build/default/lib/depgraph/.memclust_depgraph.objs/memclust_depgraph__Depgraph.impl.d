@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.ml: Ast Buffer Float Format Hashtbl Int List Locality Memclust_ir Memclust_locality Option Printf Scc String

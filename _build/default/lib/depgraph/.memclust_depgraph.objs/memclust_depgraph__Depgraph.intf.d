@@ -1,0 +1,1 @@
+lib/depgraph/depgraph.mli: Ast Format Locality Memclust_ir Memclust_locality

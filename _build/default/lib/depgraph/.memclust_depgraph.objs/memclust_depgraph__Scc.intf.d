@@ -1,0 +1,1 @@
+lib/depgraph/scc.mli:

@@ -1,0 +1,56 @@
+(** Memory-parallelism dependence graph of an innermost loop (paper §3.1).
+
+    Nodes are static memory references ([ref_id]s). Edges:
+
+    - {e cache-line dependences}: a miss on the source brings in the data
+      of the destination (self edge of distance 1 for self-spatial leading
+      references; leader → follower edges for group reuse);
+    - {e address dependences}: the value loaded by the source is used to
+      compute the address of the destination (indirect indexing, pointer
+      chasing), with the inner-loop dependence distance.
+
+    Recurrences are cycles; each limits miss parallelism to α = R/ι misses
+    per iteration, where R counts the leading references serialized by the
+    cycle and ι is the cycle's total distance (§3.2). For recurrence
+    detection, followers are collapsed into their group leader — a miss
+    serialized by a follower's address (pointer-chase [next] on the same
+    line as the data fields) serializes the leader's miss. *)
+
+open Memclust_ir
+open Memclust_locality
+
+type dep_class = Cache_line | Address
+
+type edge = { src : int; dst : int; cls : dep_class; distance : int }
+
+type recurrence = {
+  rec_nodes : int list;  (** canonical (leader) ref ids in the SCC *)
+  rec_class : dep_class;  (** [Address] if any edge is an address dep *)
+  r_count : int;  (** leading references on the critical cycle *)
+  iota : int;  (** total distance of the critical cycle, >= 1 *)
+  alpha : float;  (** r_count /. iota *)
+}
+
+(** The innermost loop-like construct under analysis. *)
+type inner = Counted of Ast.loop | Chased of Ast.chase
+
+type t = {
+  edges : edge list;  (** raw edges (followers not collapsed) *)
+  recurrences : recurrence list;  (** only recurrences with r_count > 0 *)
+  has_address_recurrence : bool;
+}
+
+val analyze : Locality.t -> inner -> t
+(** Build the graph for the given innermost loop. Nested counted loops or
+    chases inside the body are skipped (their references belong to their
+    own innermost analysis). *)
+
+val alpha : t -> float
+(** max over recurrences of α; 0.0 when the loop has no recurrence. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> Locality.t -> t -> string
+(** Graphviz rendering of the dependence graph: solid edges are address
+    dependences, dotted edges cache-line dependences (the paper's drawing
+    convention); nodes are labeled with their locality class. *)

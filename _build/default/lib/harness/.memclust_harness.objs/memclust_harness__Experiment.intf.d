@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Ast Config Driver Machine Machine_model Memclust_cluster Memclust_ir Memclust_sim Memclust_workloads Workload

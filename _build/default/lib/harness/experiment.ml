@@ -1,0 +1,110 @@
+open Memclust_ir
+open Memclust_cluster
+open Memclust_codegen
+open Memclust_sim
+open Memclust_workloads
+
+type version = Base | Clustered | Prefetched | Clustered_prefetched
+
+type spec = {
+  workload : Workload.t;
+  config : Config.t;
+  nprocs : int;
+  version : version;
+}
+
+type outcome = {
+  spec : spec;
+  result : Machine.result;
+  cluster_report : Driver.report option;
+  program : Ast.program;
+}
+
+let machine_of_config (cfg : Config.t) =
+  {
+    Machine_model.window = cfg.Config.window;
+    mshrs = cfg.Config.mshrs;
+    line_size = cfg.Config.line;
+    max_unroll = 16;
+    max_procs = 16;
+  }
+
+(* Clustering is deterministic: memoize per (workload, config) so the
+   multiprocessor and uniprocessor runs share one transformation. *)
+let cache : (string, Ast.program * Driver.report) Hashtbl.t = Hashtbl.create 16
+
+let transform (cfg : Config.t) (w : Workload.t) =
+  let key = w.Workload.name ^ "@" ^ cfg.Config.name in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let machine =
+        { (machine_of_config cfg) with
+          Machine_model.max_procs = max 1 w.Workload.mp_procs
+        }
+      in
+      let options = { Driver.default_options with machine } in
+      let r = Driver.run ~options ~init:w.Workload.init w.Workload.program in
+      Hashtbl.replace cache key r;
+      r
+
+let scaled_config (cfg : Config.t) (w : Workload.t) =
+  match cfg.Config.l2_bytes with
+  | None -> cfg
+  | Some _ -> Config.with_l2 w.Workload.l2_bytes cfg
+
+let execute spec =
+  let cfg = scaled_config spec.config spec.workload in
+  let program, cluster_report =
+    match spec.version with
+    | Base -> (Program.renumber spec.workload.Workload.program, None)
+    | Clustered ->
+        let p, r = transform cfg spec.workload in
+        (p, Some r)
+    | Prefetched ->
+        let p, _ =
+          Memclust_transform.Prefetch_pass.insert
+            ~latency:cfg.Config.mem_lat ~issue_width:cfg.Config.issue_width
+            ~line_size:cfg.Config.line
+            (Program.renumber spec.workload.Workload.program)
+        in
+        (p, None)
+    | Clustered_prefetched ->
+        let p, r = transform cfg spec.workload in
+        let p, _ =
+          Memclust_transform.Prefetch_pass.insert
+            ~latency:cfg.Config.mem_lat ~issue_width:cfg.Config.issue_width
+            ~line_size:cfg.Config.line p
+        in
+        (p, Some r)
+  in
+  let data = Data.create program in
+  spec.workload.Workload.init data;
+  let lowered = Lower.build ~nprocs:spec.nprocs program data in
+  let home = Data.home_of_addr data ~nprocs:spec.nprocs in
+  let result = Machine.run cfg ~home lowered in
+  { spec; result; cluster_report; program }
+
+let outcome_cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
+
+let execute_cached spec =
+  let key =
+    Printf.sprintf "%s|%s|%d|%s" spec.workload.Workload.name
+      spec.config.Config.name spec.nprocs
+      (match spec.version with
+      | Base -> "base"
+      | Clustered -> "clust"
+      | Prefetched -> "pf"
+      | Clustered_prefetched -> "clust+pf")
+  in
+  match Hashtbl.find_opt outcome_cache key with
+  | Some o -> o
+  | None ->
+      Printf.eprintf "[run] %s...\n%!" key;
+      let o = execute spec in
+      Hashtbl.replace outcome_cache key o;
+      o
+
+let exec_cycles o = o.result.Machine.cycles
+
+let data_stall o = o.result.Machine.breakdown.Breakdown.data_stall

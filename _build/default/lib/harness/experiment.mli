@@ -1,0 +1,47 @@
+(** Running one (workload, machine, processor-count, version) point of the
+    evaluation: apply (or skip) the clustering transformations, lower,
+    simulate, and collect the simulator's statistics. *)
+
+open Memclust_ir
+open Memclust_cluster
+open Memclust_sim
+open Memclust_workloads
+
+type version =
+  | Base
+  | Clustered
+  | Prefetched  (** software prefetching only (extension) *)
+  | Clustered_prefetched  (** clustering then prefetching (extension) *)
+
+type spec = {
+  workload : Workload.t;
+  config : Config.t;
+  nprocs : int;
+  version : version;
+}
+
+type outcome = {
+  spec : spec;
+  result : Machine.result;
+  cluster_report : Driver.report option;  (** None for unclustered versions *)
+  program : Ast.program;  (** the program actually simulated *)
+}
+
+val machine_of_config : Config.t -> Machine_model.t
+(** The analysis-side machine parameters implied by a simulator config. *)
+
+val transform : Config.t -> Workload.t -> Ast.program * Driver.report
+(** Cluster the workload for the given machine (memoized per
+    workload-name/config-name pair — transformation is deterministic). *)
+
+val execute : spec -> outcome
+(** The workload's scaled L2 size is applied to the config when the config
+    has a two-level hierarchy; single-level configs (Exemplar) are used
+    unchanged. *)
+
+val execute_cached : spec -> outcome
+(** Like {!execute}, memoized on (workload, config, nprocs, version); logs
+    progress to stderr. *)
+
+val exec_cycles : outcome -> int
+val data_stall : outcome -> float

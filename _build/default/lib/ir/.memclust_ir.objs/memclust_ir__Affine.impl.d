@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Format List Map Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/data.ml: Array Ast Float Hashtbl List Printf

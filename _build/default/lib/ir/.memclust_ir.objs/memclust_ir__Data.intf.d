@@ -1,0 +1,1 @@
+lib/ir/data.mli: Ast

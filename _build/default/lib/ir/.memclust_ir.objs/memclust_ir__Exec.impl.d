@@ -1,0 +1,1 @@
+lib/ir/exec.ml: Affine Ast Data Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/exec.mli: Ast Data

@@ -1,0 +1,1 @@
+lib/ir/measure.ml: Affine Ast List

@@ -1,0 +1,1 @@
+lib/ir/measure.mli: Ast

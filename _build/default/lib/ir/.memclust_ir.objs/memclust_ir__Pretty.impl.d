@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Affine Ast Format List

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Ast Format Hashtbl List String

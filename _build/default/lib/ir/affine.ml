@@ -1,0 +1,71 @@
+module Smap = Map.Make (String)
+
+type t = { coeffs : int Smap.t; const : int }
+(* Invariant: no zero coefficients are stored. *)
+
+let norm coeffs = Smap.filter (fun _ c -> c <> 0) coeffs
+
+let const c = { coeffs = Smap.empty; const = c }
+
+let var v = { coeffs = Smap.singleton v 1; const = 0 }
+
+let add a b =
+  let coeffs =
+    Smap.union (fun _ x y -> Some (x + y)) a.coeffs b.coeffs |> norm
+  in
+  { coeffs; const = a.const + b.const }
+
+let scale k a =
+  if k = 0 then const 0
+  else { coeffs = Smap.map (fun c -> k * c) a.coeffs; const = k * a.const }
+
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+
+let of_terms terms c =
+  List.fold_left (fun acc (v, k) -> add acc (scale k (var v))) (const c) terms
+
+let constant a = a.const
+let coeff a v = match Smap.find_opt v a.coeffs with Some c -> c | None -> 0
+let vars a = Smap.bindings a.coeffs |> List.map fst
+let is_const a = Smap.is_empty a.coeffs
+
+let subst a v b =
+  match Smap.find_opt v a.coeffs with
+  | None -> a
+  | Some k ->
+      let without = { a with coeffs = Smap.remove v a.coeffs } in
+      add without (scale k b)
+
+let shift a v k = subst a v (add (var v) (const k))
+
+let eval env a =
+  Smap.fold (fun v c acc -> acc + (c * env v)) a.coeffs a.const
+
+let equal a b = a.const = b.const && Smap.equal ( = ) a.coeffs b.coeffs
+
+let compare a b =
+  let c = Stdlib.compare a.const b.const in
+  if c <> 0 then c else Smap.compare Stdlib.compare a.coeffs b.coeffs
+
+let pp ppf a =
+  let terms = Smap.bindings a.coeffs in
+  if terms = [] then Format.fprintf ppf "%d" a.const
+  else begin
+    List.iteri
+      (fun i (v, c) ->
+        if i = 0 then begin
+          if c = 1 then Format.fprintf ppf "%s" v
+          else if c = -1 then Format.fprintf ppf "-%s" v
+          else Format.fprintf ppf "%d*%s" c v
+        end
+        else if c = 1 then Format.fprintf ppf " + %s" v
+        else if c = -1 then Format.fprintf ppf " - %s" v
+        else if c > 0 then Format.fprintf ppf " + %d*%s" c v
+        else Format.fprintf ppf " - %d*%s" (-c) v)
+      terms;
+    if a.const > 0 then Format.fprintf ppf " + %d" a.const
+    else if a.const < 0 then Format.fprintf ppf " - %d" (-a.const)
+  end
+
+let to_string a = Format.asprintf "%a" pp a

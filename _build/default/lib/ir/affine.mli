@@ -1,0 +1,46 @@
+(** Affine integer expressions over named variables (loop indices and
+    symbolic size parameters): [c0 + c1*v1 + ... + cn*vn].
+
+    Subscripts of regular array references and loop bounds are affine, which
+    is what makes locality and dependence analysis (leading references,
+    self-spatial reuse, cache-line dependence distances) decidable. *)
+
+type t
+
+val const : int -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+
+val of_terms : (string * int) list -> int -> t
+(** [of_terms coeffs const]; repeated variables are summed. *)
+
+val constant : t -> int
+(** The constant term. *)
+
+val coeff : t -> string -> int
+(** Coefficient of a variable, 0 if absent. *)
+
+val vars : t -> string list
+(** Variables with non-zero coefficient, sorted. *)
+
+val is_const : t -> bool
+
+val subst : t -> string -> t -> t
+(** [subst a v b] replaces variable [v] by affine expression [b]. *)
+
+val shift : t -> string -> int -> t
+(** [shift a v k] is [subst a v (var v + const k)] — the substitution
+    performed on loop bodies by unrolling. *)
+
+val eval : (string -> int) -> t -> int
+(** Evaluate under an environment. Raises whatever the environment raises
+    for unbound variables. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,98 @@
+(* Core abstract syntax of the loop-nest intermediate representation.
+
+   The IR models the loop structure, memory references and scalar dataflow
+   of the kernels studied by Pai & Adve. Three reference forms cover the
+   paper's taxonomy:
+   - [Direct]: regular references, arrays indexed by affine functions of
+     the loop indices (analyzable stride/locality);
+   - [Indirect]: irregular references whose index is a computed value,
+     typically loaded from another array (sparse codes — address dependence
+     from the index load to this reference);
+   - [Field]: loads through a pointer value (recursive data structures —
+     pointer-chasing address recurrences). *)
+
+type value =
+  | Vfloat of float
+  | Vint of int
+  | Vptr of int  (** byte address into a region's heap, 0 = null *)
+
+type unop = Neg | Abs | Sqrt | Trunc  (** [Trunc] coerces to [Vint] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | Lt | Le | Eq  (** comparisons yield [Vint] 0 or 1 *)
+
+type mem_ref = { ref_id : int; target : target }
+
+and target =
+  | Direct of { array : string; index : Affine.t }
+  | Indirect of { array : string; index : expr }
+  | Field of { region : string; ptr : expr; field : int }
+
+and expr =
+  | Const of value
+  | Ivar of string  (** value of a loop index variable, as [Vint] *)
+  | Scalar of string  (** scalar (register-allocated) variable *)
+  | Load of mem_ref
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type lhs =
+  | Lscalar of string
+  | Lmem of mem_ref
+
+type stmt =
+  | Assign of lhs * expr
+  | Loop of loop
+  | Chase of chase
+  | If of expr * stmt list * stmt list
+  | Use of expr  (** keeps a value live; emits no instruction *)
+  | Barrier  (** global synchronization in parallel programs *)
+  | Prefetch of mem_ref
+      (** non-binding software prefetch: brings the line toward the cache
+          without blocking retirement (extension; paper §6 interaction
+          with prefetching) *)
+
+and loop = {
+  var : string;
+  lo : Affine.t;
+  hi : Affine.t;  (** exclusive *)
+  step : int;  (** > 0 *)
+  parallel : bool;  (** outermost parallel loop: iterations block-distributed *)
+  body : stmt list;
+}
+
+and chase = {
+  cvar : string;  (** pointer variable bound in the body *)
+  init : expr;  (** initial pointer value *)
+  cregion : string;
+  next_field : int;  (** field holding the next pointer *)
+  next_ref_id : int;
+      (** static id of the implicit [p->next] load; assigned by renumbering *)
+  count : Affine.t option;
+      (** [Some n]: exactly n dereferences; [None]: until null *)
+  cbody : stmt list;  (** executed once per chain element *)
+}
+
+(* Declarations *)
+
+type array_decl = {
+  a_name : string;
+  elem_size : int;  (** bytes per element *)
+  length : int;  (** elements *)
+}
+
+type region_decl = {
+  r_name : string;
+  node_size : int;  (** bytes per node, multiple of field slot size (8) *)
+  node_count : int;
+}
+
+type program = {
+  p_name : string;
+  params : (string * int) list;  (** symbolic sizes usable in bounds *)
+  arrays : array_decl list;
+  regions : region_decl list;
+  body : stmt list;
+}

@@ -1,0 +1,182 @@
+open Ast
+
+type array_store = {
+  as_base : int;
+  as_elem : int;
+  as_data : value array;
+}
+
+type region_store = {
+  rs_base : int;
+  rs_node : int;  (* bytes per node *)
+  rs_slots : int;  (* 8-byte field slots per node *)
+  rs_data : value array;  (* node_count * rs_slots *)
+}
+
+type t = {
+  arrays : (string, array_store) Hashtbl.t;
+  regions : (string, region_store) Hashtbl.t;
+  (* (base, bytes) of every object, for home-node computation *)
+  extents : (int * int) list;
+}
+
+let round_up v align = (v + align - 1) / align * align
+
+let create ?(base = 0x10000) ?(align = 64) (p : program) =
+  let arrays = Hashtbl.create 16 in
+  let regions = Hashtbl.create 16 in
+  let cursor = ref base in
+  let extents = ref [] in
+  let alloc bytes =
+    let b = round_up !cursor align in
+    cursor := b + bytes;
+    extents := (b, bytes) :: !extents;
+    b
+  in
+  List.iter
+    (fun a ->
+      let bytes = a.length * a.elem_size in
+      let as_base = alloc bytes in
+      Hashtbl.replace arrays a.a_name
+        { as_base; as_elem = a.elem_size; as_data = Array.make a.length (Vfloat 0.0) })
+    p.arrays;
+  List.iter
+    (fun r ->
+      let bytes = r.node_count * r.node_size in
+      let rs_base = alloc bytes in
+      let slots = r.node_size / 8 in
+      Hashtbl.replace regions r.r_name
+        {
+          rs_base;
+          rs_node = r.node_size;
+          rs_slots = slots;
+          rs_data = Array.make (r.node_count * slots) (Vint 0);
+        })
+    p.regions;
+  { arrays; regions; extents = List.rev !extents }
+
+let find_array t name =
+  match Hashtbl.find_opt t.arrays name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Data: unknown array %s" name)
+
+let find_region t name =
+  match Hashtbl.find_opt t.regions name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Data: unknown region %s" name)
+
+let clamp len i = if i < 0 then 0 else if i >= len then len - 1 else i
+
+let get t name i =
+  let a = find_array t name in
+  a.as_data.(clamp (Array.length a.as_data) i)
+
+let set t name i v =
+  let a = find_array t name in
+  a.as_data.(clamp (Array.length a.as_data) i) <- v
+
+let addr_of t name i =
+  let a = find_array t name in
+  a.as_base + (clamp (Array.length a.as_data) i * a.as_elem)
+
+let array_base t name = (find_array t name).as_base
+
+let array_bytes t name =
+  let a = find_array t name in
+  Array.length a.as_data * a.as_elem
+
+let node_addr t name i =
+  let r = find_region t name in
+  r.rs_base + (i * r.rs_node)
+
+let node_ptr t name i = Vptr (node_addr t name i)
+
+let slot_of t name ~ptr ~field =
+  let r = find_region t name in
+  if ptr = 0 then invalid_arg "Data: null pointer dereference";
+  let off = ptr - r.rs_base in
+  let node = off / r.rs_node in
+  let count = Array.length r.rs_data / r.rs_slots in
+  if off < 0 || node >= count || off mod r.rs_node <> 0 then
+    invalid_arg
+      (Printf.sprintf "Data: pointer %#x is not a node of region %s" ptr name);
+  if field < 0 || field >= r.rs_slots then
+    invalid_arg (Printf.sprintf "Data: field %d outside region %s nodes" field name);
+  (r, (node * r.rs_slots) + field)
+
+let field_get t name ~ptr ~field =
+  let r, slot = slot_of t name ~ptr ~field in
+  r.rs_data.(slot)
+
+let field_set t name ~ptr ~field v =
+  let r, slot = slot_of t name ~ptr ~field in
+  r.rs_data.(slot) <- v
+
+let field_addr t name ~ptr ~field =
+  let r, _ = slot_of t name ~ptr ~field in
+  ignore r;
+  ptr + (field * 8)
+
+let copy t =
+  let arrays = Hashtbl.create (Hashtbl.length t.arrays) in
+  Hashtbl.iter
+    (fun k a -> Hashtbl.replace arrays k { a with as_data = Array.copy a.as_data })
+    t.arrays;
+  let regions = Hashtbl.create (Hashtbl.length t.regions) in
+  Hashtbl.iter
+    (fun k r -> Hashtbl.replace regions k { r with rs_data = Array.copy r.rs_data })
+    t.regions;
+  { arrays; regions; extents = t.extents }
+
+let value_equal eps a b =
+  match (a, b) with
+  | Vfloat x, Vfloat y ->
+      let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+      Float.abs (x -. y) <= eps *. scale
+  | Vint x, Vint y -> x = y
+  | Vptr x, Vptr y -> x = y
+  | _ -> false
+
+let equal ?(eps = 1e-9) t1 t2 =
+  let arrays_ok =
+    Hashtbl.fold
+      (fun k a acc ->
+        acc
+        &&
+        match Hashtbl.find_opt t2.arrays k with
+        | None -> false
+        | Some b ->
+            Array.length a.as_data = Array.length b.as_data
+            && Array.for_all2 (value_equal eps) a.as_data b.as_data)
+      t1.arrays true
+  in
+  let regions_ok =
+    Hashtbl.fold
+      (fun k r acc ->
+        acc
+        &&
+        match Hashtbl.find_opt t2.regions k with
+        | None -> false
+        | Some s ->
+            Array.length r.rs_data = Array.length s.rs_data
+            && Array.for_all2 (value_equal eps) r.rs_data s.rs_data)
+      t1.regions true
+  in
+  arrays_ok && regions_ok
+  && Hashtbl.length t1.arrays = Hashtbl.length t2.arrays
+  && Hashtbl.length t1.regions = Hashtbl.length t2.regions
+
+let home_of_addr t ~nprocs addr =
+  if nprocs <= 1 then 0
+  else begin
+    let rec find = function
+      | [] -> 0
+      | (base, bytes) :: rest ->
+          if addr >= base && addr < base + bytes then begin
+            let chunk = (bytes + nprocs - 1) / nprocs in
+            min (nprocs - 1) ((addr - base) / max 1 chunk)
+          end
+          else find rest
+    in
+    find t.extents
+  end

@@ -1,0 +1,59 @@
+(** Concrete data store backing a program's arrays and heap regions.
+
+    The store assigns every array and region a base byte address (aligned
+    to a cache line) in a flat synthetic address space, holds the current
+    value of every element/field, and translates references to addresses.
+    The executor reads and writes through it; the simulator only ever sees
+    the byte addresses it produces. *)
+
+open Ast
+
+type t
+
+val create : ?base:int -> ?align:int -> program -> t
+(** Lay out the program's arrays and regions in declaration order starting
+    at [base] (default 0x10000), aligning each object to [align] bytes
+    (default 64, one cache line). *)
+
+(** {1 Arrays} *)
+
+val get : t -> string -> int -> value
+(** [get t a i] is element [i] of array [a]. Out-of-range indices are
+    clamped into range (synthetic workloads may compute indices from data;
+    clamping keeps the run meaningful without aborting). *)
+
+val set : t -> string -> int -> value -> unit
+val addr_of : t -> string -> int -> int
+(** Byte address of an element (index clamped like {!get}). *)
+
+val array_base : t -> string -> int
+val array_bytes : t -> string -> int
+
+(** {1 Regions (heaps of fixed-size nodes)} *)
+
+val node_addr : t -> string -> int -> int
+(** Byte address of node [i]. *)
+
+val node_ptr : t -> string -> int -> value
+(** [Vptr] to node [i]; [Vptr 0] is null. *)
+
+val field_get : t -> string -> ptr:int -> field:int -> value
+(** Read a field through a node byte address. Raises [Invalid_argument] on
+    a null or foreign pointer. *)
+
+val field_set : t -> string -> ptr:int -> field:int -> value -> unit
+val field_addr : t -> string -> ptr:int -> field:int -> int
+
+(** {1 Whole-store operations} *)
+
+val copy : t -> t
+
+val equal : ?eps:float -> t -> t -> bool
+(** Element-wise comparison of all arrays and regions; floats compared with
+    relative tolerance [eps] (default 1e-9). Used by the semantics-
+    preservation property tests. *)
+
+val home_of_addr : t -> nprocs:int -> int -> int
+(** Home processor of a byte address under block distribution: each array
+    and region is split into [nprocs] contiguous chunks, chunk p living on
+    processor p. Addresses outside any object map to processor 0. *)

@@ -1,0 +1,314 @@
+open Ast
+
+type emitter = {
+  e_int : int list -> int;
+  e_fp : lat:int -> int list -> int;
+  e_load : ref_id:int -> addr:int -> int list -> int;
+  e_store : ref_id:int -> addr:int -> int list -> int;
+  e_prefetch : ref_id:int -> addr:int -> int list -> unit;
+  e_branch : int list -> unit;
+  e_barrier : unit -> unit;
+  e_set_proc : int -> unit;
+}
+
+let null_emitter =
+  {
+    e_int = (fun _ -> -1);
+    e_fp = (fun ~lat:_ _ -> -1);
+    e_load = (fun ~ref_id:_ ~addr:_ _ -> -1);
+    e_store = (fun ~ref_id:_ ~addr:_ _ -> -1);
+    e_prefetch = (fun ~ref_id:_ ~addr:_ _ -> ());
+    e_branch = ignore;
+    e_barrier = ignore;
+    e_set_proc = ignore;
+  }
+
+exception Limit_exceeded
+
+let fp_latency = function
+  | Add | Sub | Min | Max -> 3
+  | Mul -> 3
+  | Div | Mod -> 16
+  | Lt | Le | Eq -> 1
+
+(* Numeric coercions: the value domain is deliberately loose — synthetic
+   workloads index arrays with computed data, so we coerce rather than
+   fail. Division by zero yields 0 to keep synthetic inputs total. *)
+
+let to_float = function
+  | Vfloat x -> x
+  | Vint i -> float_of_int i
+  | Vptr a -> float_of_int a
+
+let to_int = function
+  | Vint i -> i
+  | Vfloat x -> int_of_float x
+  | Vptr a -> a
+
+let is_float = function Vfloat _ -> true | Vint _ | Vptr _ -> false
+
+let apply_unop op v =
+  match op with
+  | Neg -> if is_float v then Vfloat (-.to_float v) else Vint (-to_int v)
+  | Abs -> if is_float v then Vfloat (Float.abs (to_float v)) else Vint (abs (to_int v))
+  | Sqrt -> Vfloat (sqrt (Float.abs (to_float v)))
+  | Trunc -> Vint (to_int v)
+
+let it_cmp a b fcmp icmp =
+  let r =
+    if is_float a || is_float b then fcmp (to_float a) (to_float b)
+    else icmp (to_int a) (to_int b)
+  in
+  Vint (if r then 1 else 0)
+
+let apply_binop op a b =
+  let fl f = Vfloat (f (to_float a) (to_float b)) in
+  let it f = Vint (f (to_int a) (to_int b)) in
+  let numeric ffun ifun = if is_float a || is_float b then fl ffun else it ifun in
+  match op with
+  | Add -> (
+      (* pointer arithmetic stays a pointer *)
+      match (a, b) with
+      | Vptr p, v | v, Vptr p -> Vptr (p + to_int v)
+      | _ -> numeric ( +. ) ( + ))
+  | Sub -> numeric ( -. ) ( - )
+  | Mul -> numeric ( *. ) ( * )
+  | Div ->
+      if is_float a || is_float b then
+        let d = to_float b in
+        Vfloat (if d = 0.0 then 0.0 else to_float a /. d)
+      else
+        let d = to_int b in
+        Vint (if d = 0 then 0 else to_int a / d)
+  | Mod ->
+      if is_float a || is_float b then
+        let d = to_float b in
+        Vfloat (if d = 0.0 then 0.0 else Float.rem (to_float a) d)
+      else
+        let d = to_int b in
+        Vint (if d = 0 then 0 else to_int a mod d)
+  | Min -> numeric Float.min min
+  | Max -> numeric Float.max max
+  | Lt -> it_cmp a b ( < ) ( < )
+  | Le -> it_cmp a b ( <= ) ( <= )
+  | Eq -> it_cmp a b ( = ) ( = )
+
+type state = {
+  emit : emitter;
+  data : Data.t;
+  nprocs : int;
+  max_ops : int;
+  mutable ops : int;
+  (* loop indices and symbolic parameters, integer-valued *)
+  ivars : (string, int) Hashtbl.t;
+  (* scalar variables: value and producing token *)
+  scalars : (string, value * int) Hashtbl.t;
+  mutable depth_parallel : int;  (* > 0 while inside a parallel loop *)
+}
+
+let tick st =
+  st.ops <- st.ops + 1;
+  if st.ops > st.max_ops then raise Limit_exceeded
+
+let ivar_value st v =
+  match Hashtbl.find_opt st.ivars v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Exec: unbound index variable %s" v)
+
+let eval_affine st a = Affine.eval (ivar_value st) a
+
+let deps l = List.filter (fun t -> t >= 0) l
+
+(* Evaluate an expression; returns (value, token of producing op). *)
+let rec eval st e : value * int =
+  match e with
+  | Const v -> (v, -1)
+  | Ivar v -> (Vint (ivar_value st v), -1)
+  | Scalar v -> (
+      match Hashtbl.find_opt st.scalars v with
+      | Some (value, tok) -> (value, tok)
+      | None -> invalid_arg (Printf.sprintf "Exec: unbound scalar %s" v))
+  | Load r ->
+      let value, _addr, tok = eval_load st r in
+      (value, tok)
+  | Unop (op, a) ->
+      let va, ta = eval st a in
+      tick st;
+      let v = apply_unop op va in
+      let tok =
+        if is_float v || op = Sqrt then st.emit.e_fp ~lat:(if op = Sqrt then 33 else 3) (deps [ ta ])
+        else st.emit.e_int (deps [ ta ])
+      in
+      (v, tok)
+  | Binop (op, a, b) ->
+      let va, ta = eval st a in
+      let vb, tb = eval st b in
+      tick st;
+      let v = apply_binop op va vb in
+      let tok =
+        if is_float va || is_float vb then st.emit.e_fp ~lat:(fp_latency op) (deps [ ta; tb ])
+        else st.emit.e_int (deps [ ta; tb ])
+      in
+      (v, tok)
+
+(* Resolve a reference to (address, value-read, token). Also emits the
+   address-generation operation where one is needed. *)
+and eval_load st r =
+  let addr, addr_tok, read =
+    resolve st r
+  in
+  tick st;
+  let tok = st.emit.e_load ~ref_id:r.ref_id ~addr (deps [ addr_tok ]) in
+  (read (), addr, tok)
+
+(* (address, token the address depends on, thunk reading current value) *)
+and resolve st r =
+  match r.target with
+  | Direct { array; index } ->
+      let i = eval_affine st index in
+      let addr = Data.addr_of st.data array i in
+      (* address generation: one integer op (induction-variable add) *)
+      tick st;
+      let t = st.emit.e_int [] in
+      (addr, t, fun () -> Data.get st.data array i)
+  | Indirect { array; index } ->
+      let vi, ti = eval st index in
+      let i = to_int vi in
+      let addr = Data.addr_of st.data array i in
+      tick st;
+      let t = st.emit.e_int (deps [ ti ]) in
+      (addr, t, fun () -> Data.get st.data array i)
+  | Field { region; ptr; field } ->
+      let vp, tp = eval st ptr in
+      let p = to_int vp in
+      let addr = Data.field_addr st.data region ~ptr:p ~field in
+      (* register+offset addressing: no separate address op *)
+      (addr, tp, fun () -> Data.field_get st.data region ~ptr:p ~field)
+
+let rec exec_stmt st stmt =
+  match stmt with
+  | Assign (Lscalar v, e) ->
+      let value, tok = eval st e in
+      Hashtbl.replace st.scalars v (value, tok)
+  | Assign (Lmem r, e) ->
+      let value, vtok = eval st e in
+      store_ref st r value vtok
+  | Use e ->
+      let _v, _t = eval st e in
+      ()
+  | Barrier -> st.emit.e_barrier ()
+  | Prefetch r -> (
+      (* compute the address and emit the hint; a prefetch through a null
+         or dangling pointer is silently dropped, as hardware does *)
+      match resolve st r with
+      | addr, tok, _read -> st.emit.e_prefetch ~ref_id:r.ref_id ~addr (deps [ tok ])
+      | exception Invalid_argument _ -> ())
+  | If (cond, then_, else_) ->
+      let v, t = eval st cond in
+      st.emit.e_branch (deps [ t ]);
+      let branch = if to_int v <> 0 then then_ else else_ in
+      List.iter (exec_stmt st) branch
+  | Loop l -> exec_loop st l
+  | Chase c -> exec_chase st c
+
+and store_ref st r value vtok =
+  match r.target with
+  | Direct { array; index } ->
+      let i = eval_affine st index in
+      tick st;
+      let at = st.emit.e_int [] in
+      let addr = Data.addr_of st.data array i in
+      tick st;
+      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; at ]));
+      Data.set st.data array i value
+  | Indirect { array; index } ->
+      let vi, ti = eval st index in
+      let i = to_int vi in
+      tick st;
+      let at = st.emit.e_int (deps [ ti ]) in
+      let addr = Data.addr_of st.data array i in
+      tick st;
+      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; at ]));
+      Data.set st.data array i value
+  | Field { region; ptr; field } ->
+      let vp, tp = eval st ptr in
+      let p = to_int vp in
+      let addr = Data.field_addr st.data region ~ptr:p ~field in
+      tick st;
+      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; tp ]));
+      Data.field_set st.data region ~ptr:p ~field value
+
+and exec_loop st l =
+  let lo = eval_affine st l.lo and hi = eval_affine st l.hi in
+  let distribute = l.parallel && st.nprocs > 1 && st.depth_parallel = 0 in
+  let total = if hi > lo then (hi - lo + l.step - 1) / l.step else 0 in
+  if distribute then st.depth_parallel <- st.depth_parallel + 1;
+  let saved = Hashtbl.find_opt st.ivars l.var in
+  let iter_num = ref 0 in
+  let i = ref lo in
+  while !i < hi do
+    (* balanced block distribution: every processor gets ⌊total/n⌋ or
+       ⌈total/n⌉ consecutive iterations *)
+    if distribute && total > 0 then
+      st.emit.e_set_proc (min (st.nprocs - 1) (!iter_num * st.nprocs / total));
+    Hashtbl.replace st.ivars l.var !i;
+    List.iter (exec_stmt st) l.body;
+    (* loop overhead: induction increment + backward branch *)
+    tick st;
+    let t = st.emit.e_int [] in
+    st.emit.e_branch [ t ];
+    incr iter_num;
+    i := !i + l.step
+  done;
+  (match saved with
+  | Some v -> Hashtbl.replace st.ivars l.var v
+  | None -> Hashtbl.remove st.ivars l.var);
+  if distribute then begin
+    st.depth_parallel <- st.depth_parallel - 1;
+    st.emit.e_set_proc 0;
+    st.emit.e_barrier ()
+  end
+
+and exec_chase st c =
+  let v0, t0 = eval st c.init in
+  let limit = Option.map (eval_affine st) c.count in
+  let saved = Hashtbl.find_opt st.scalars c.cvar in
+  let p = ref (to_int v0) in
+  let ptok = ref t0 in
+  let n = ref 0 in
+  let continue () =
+    !p <> 0 && match limit with Some k -> !n < k | None -> true
+  in
+  while continue () do
+    Hashtbl.replace st.scalars c.cvar (Vptr !p, !ptok);
+    List.iter (exec_stmt st) c.cbody;
+    (* advance: p = p->next — a load whose address depends on p *)
+    let addr = Data.field_addr st.data c.cregion ~ptr:!p ~field:c.next_field in
+    tick st;
+    let tok = st.emit.e_load ~ref_id:c.next_ref_id ~addr (deps [ !ptok ]) in
+    let next = Data.field_get st.data c.cregion ~ptr:!p ~field:c.next_field in
+    st.emit.e_branch [ tok ];
+    p := to_int next;
+    ptok := tok;
+    incr n
+  done;
+  (match saved with
+  | Some v -> Hashtbl.replace st.scalars c.cvar v
+  | None -> Hashtbl.remove st.scalars c.cvar)
+
+let run ?(emit = null_emitter) ?(nprocs = 1) ?(max_ops = 200_000_000) (p : program)
+    data =
+  let st =
+    {
+      emit;
+      data;
+      nprocs;
+      max_ops;
+      ops = 0;
+      ivars = Hashtbl.create 16;
+      scalars = Hashtbl.create 16;
+      depth_parallel = 0;
+    }
+  in
+  List.iter (fun (name, v) -> Hashtbl.replace st.ivars name v) p.params;
+  List.iter (exec_stmt st) p.body

@@ -1,0 +1,55 @@
+(** Reference executor for IR programs.
+
+    The executor interprets a program over a {!Data} store and, through an
+    {!emitter}, reports every dynamic operation together with its register
+    dataflow. Two uses:
+
+    - with {!null_emitter} it is the semantics oracle (the property tests
+      compare final stores of base vs transformed programs);
+    - with a trace-building emitter (see [Memclust_codegen.Lower]) it
+      produces the dynamic instruction stream consumed by the simulator,
+      including the address dependences that serialize pointer chasing and
+      indirect accesses.
+
+    Dependence tokens are integers chosen by the emitter ([-1] = no
+    dependence, i.e. the value is already available). *)
+
+open Ast
+
+type emitter = {
+  e_int : int list -> int;
+      (** 1-cycle integer/address operation; argument = dependence tokens;
+          result = token of the new operation *)
+  e_fp : lat:int -> int list -> int;  (** floating-point operation *)
+  e_load : ref_id:int -> addr:int -> int list -> int;
+  e_store : ref_id:int -> addr:int -> int list -> int;
+  e_prefetch : ref_id:int -> addr:int -> int list -> unit;
+      (** non-binding prefetch hint *)
+  e_branch : int list -> unit;  (** conditional branch / loop back-edge *)
+  e_barrier : unit -> unit;  (** global synchronization *)
+  e_set_proc : int -> unit;
+      (** subsequent operations belong to this processor (parallel loops) *)
+}
+
+val null_emitter : emitter
+(** Emits nothing; every token is [-1]. *)
+
+exception Limit_exceeded
+(** Raised when more than [max_ops] dynamic operations are executed. *)
+
+val run :
+  ?emit:emitter ->
+  ?nprocs:int ->
+  ?max_ops:int ->
+  program ->
+  Data.t ->
+  unit
+(** Execute the program, mutating the store. With [nprocs > 1] the
+    iterations of each outermost [parallel] loop are block-distributed:
+    operations from iteration chunks are attributed to their processor via
+    [e_set_proc], and a barrier is emitted after the loop. [max_ops]
+    (default 200 million) bounds runaway programs. *)
+
+val fp_latency : binop -> int
+(** Functional-unit latency used for each arithmetic operator (Table 1:
+    1 cycle for ALU ops, 3 for most FPU ops, 16 for FP divide). *)

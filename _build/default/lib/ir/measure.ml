@@ -1,0 +1,42 @@
+open Ast
+
+let nominal_trip = 8
+
+let rec expr_ops = function
+  | Const _ | Ivar _ | Scalar _ -> 0
+  | Load r -> ref_ops r + 1
+  | Unop (_, a) -> expr_ops a + 1
+  | Binop (_, a, b) -> expr_ops a + expr_ops b + 1
+
+and ref_ops r =
+  match r.target with
+  | Direct _ -> 1 (* address generation *)
+  | Indirect { index; _ } -> expr_ops index + 1
+  | Field { ptr; _ } -> expr_ops ptr (* register+offset addressing *)
+
+let rec stmt_ops = function
+  | Assign (Lscalar _, e) -> expr_ops e
+  | Assign (Lmem r, e) -> expr_ops e + ref_ops r + 1
+  | Prefetch r -> ref_ops r + 1
+  | Use e -> expr_ops e
+  | Barrier -> 0
+  | If (cond, t, e) ->
+      let t_ops = List.fold_left (fun acc s -> acc + stmt_ops s) 0 t in
+      let e_ops = List.fold_left (fun acc s -> acc + stmt_ops s) 0 e in
+      expr_ops cond + 1 + ((t_ops + e_ops) / 2)
+  | Loop l ->
+      let trip =
+        if Affine.is_const l.lo && Affine.is_const l.hi then
+          max 0 ((Affine.constant l.hi - Affine.constant l.lo + l.step - 1) / l.step)
+        else nominal_trip
+      in
+      trip * body_ops l.body
+  | Chase c ->
+      let trip =
+        match c.count with
+        | Some k when Affine.is_const k -> Affine.constant k
+        | Some _ | None -> nominal_trip
+      in
+      expr_ops c.init + (trip * (body_ops c.cbody + 1))
+
+and body_ops stmts = List.fold_left (fun acc s -> acc + stmt_ops s) 0 stmts + 2

@@ -1,0 +1,19 @@
+(** Static estimate of the dynamic instruction count of one iteration of a
+    loop body, mirroring the executor's emission rules. Used for the
+    paper's dynamic-window-unrolling term ⌈W / (i·L_m)⌉ (Equation 1) and
+    for window-constraint checks. *)
+
+open Ast
+
+val expr_ops : expr -> int
+(** Operations emitted to evaluate the expression (arithmetic nodes,
+    address generation and the loads themselves). *)
+
+val stmt_ops : stmt -> int
+(** Operations for one execution of the statement. [If] averages the two
+    branches; nested [Loop]/[Chase] statements count bound × body (constant
+    bounds only; symbolic bounds use a nominal trip count of 8). *)
+
+val body_ops : stmt list -> int
+(** Per-iteration size of a loop body, including the iteration's own
+    induction-variable update and branch (+2). *)

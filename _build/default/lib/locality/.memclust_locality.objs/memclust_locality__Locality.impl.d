@@ -1,0 +1,1 @@
+lib/locality/locality.ml: Affine Ast Format Hashtbl Int List Memclust_ir Option Printf Program String

@@ -1,0 +1,1 @@
+lib/locality/locality.mli: Ast Format Memclust_ir

@@ -1,0 +1,1 @@
+lib/locality/profile.ml: Array Data Exec Memclust_ir Program

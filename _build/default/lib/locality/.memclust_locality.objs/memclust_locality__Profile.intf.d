@@ -1,0 +1,1 @@
+lib/locality/profile.mli: Ast Data Memclust_ir

@@ -1,0 +1,57 @@
+(** Locality analysis (paper §3.1).
+
+    For every static memory reference, relative to its innermost enclosing
+    loop, determine:
+
+    - whether it is a {e leading reference} — a reference whose dynamic
+      instances can miss in the external cache — or a follower whose data is
+      brought in by another reference's miss (group reuse within one cache
+      line), or invariant in the inner loop;
+    - for regular leading references, whether it has {e inner-loop
+      self-spatial locality} and the sharing degree [L_m] (successive
+      iterations touching the same line);
+    - regular (affine subscript) vs irregular (indirect / pointer) class.
+
+    The implicit [p->next] load of each pointer-chase loop is reported as an
+    irregular leading reference under its [next_ref_id]. *)
+
+open Memclust_ir
+
+type ref_kind =
+  | Leading_regular of { lm : int; self_spatial : bool }
+      (** [lm] = iterations of the innermost loop sharing one line (1 when
+          no self-spatial reuse) *)
+  | Leading_irregular
+      (** miss pattern unanalyzable; weight with a profiled miss rate *)
+  | Follower of { leader : int; distance : int }
+      (** same-line group reuse: data brought in by [leader], [distance]
+          inner iterations earlier *)
+  | Inner_invariant
+      (** address constant in the innermost loop: at most one miss per
+          inner-loop pass; ignored for miss parallelism *)
+
+type info = {
+  id : int;
+  kind : ref_kind;
+  is_store : bool;
+  array : string option;  (** None for region (pointer) references *)
+  inner_var : string option;  (** innermost counted-loop variable *)
+  in_chase : bool;  (** innermost enclosing loop is a pointer chase *)
+  stride_bytes : int;  (** signed byte stride per inner iteration (regular) *)
+}
+
+type t
+
+val analyze : line_size:int -> Ast.program -> t
+(** Classify every reference of the (renumbered) program. *)
+
+val info : t -> int -> info
+(** Lookup by [ref_id]. Raises [Not_found] for unknown ids. *)
+
+val infos : t -> info list
+(** All references, in increasing id order. *)
+
+val leading : t -> info list
+(** Only the leading references (regular and irregular). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/breakdown.ml: Format

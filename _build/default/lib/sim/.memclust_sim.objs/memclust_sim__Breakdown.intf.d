@@ -1,0 +1,1 @@
+lib/sim/breakdown.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/core.ml: Array Breakdown Cache Config Hashtbl List Memclust_codegen Memsys Option Queue Trace

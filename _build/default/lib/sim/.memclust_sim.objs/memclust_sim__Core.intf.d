@@ -1,0 +1,1 @@
+lib/sim/core.mli: Breakdown Config Hashtbl Memclust_codegen Memsys Trace

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Breakdown Config Core Format Lower Memclust_codegen Memclust_util Memsys Printf Stats

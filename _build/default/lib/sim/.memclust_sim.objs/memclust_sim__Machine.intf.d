@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Breakdown Config Format Lower Memclust_codegen Memclust_util Stats

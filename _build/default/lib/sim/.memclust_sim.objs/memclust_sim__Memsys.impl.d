@@ -1,0 +1,1 @@
+lib/sim/memsys.ml: Array Config Float

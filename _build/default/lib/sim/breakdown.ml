@@ -1,0 +1,30 @@
+type t = {
+  mutable busy : float;
+  mutable cpu_stall : float;
+  mutable data_stall : float;
+  mutable sync_stall : float;
+}
+
+let create () = { busy = 0.0; cpu_stall = 0.0; data_stall = 0.0; sync_stall = 0.0 }
+
+let total t = t.busy +. t.cpu_stall +. t.data_stall +. t.sync_stall
+
+let cpu t = t.busy +. t.cpu_stall
+
+let add t u =
+  t.busy <- t.busy +. u.busy;
+  t.cpu_stall <- t.cpu_stall +. u.cpu_stall;
+  t.data_stall <- t.data_stall +. u.data_stall;
+  t.sync_stall <- t.sync_stall +. u.sync_stall
+
+let scale t k =
+  {
+    busy = t.busy *. k;
+    cpu_stall = t.cpu_stall *. k;
+    data_stall = t.data_stall *. k;
+    sync_stall = t.sync_stall *. k;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "busy %.0f / cpu-stall %.0f / data %.0f / sync %.0f" t.busy
+    t.cpu_stall t.data_stall t.sync_stall

@@ -1,0 +1,21 @@
+(** Execution-time breakdown, following the paper's retire-slot attribution
+    (§5.2): each cycle contributes retired/retire_width to busy time and
+    the remainder to the stall category of the first instruction that
+    could not retire. *)
+
+type t = {
+  mutable busy : float;
+  mutable cpu_stall : float;  (** functional-unit / pipeline stalls *)
+  mutable data_stall : float;  (** read-miss (and write-buffer) stalls *)
+  mutable sync_stall : float;  (** barrier waiting *)
+}
+
+val create : unit -> t
+val total : t -> float
+
+val cpu : t -> float
+(** busy + cpu_stall — the paper's "CPU" component. *)
+
+val add : t -> t -> unit
+val scale : t -> float -> t
+val pp : Format.formatter -> t -> unit

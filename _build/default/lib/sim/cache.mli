@@ -1,0 +1,19 @@
+(** Set-associative LRU cache with coherence version tags.
+
+    Each cached line remembers the global version it was fetched at; a
+    lookup only hits when the global version is unchanged (another
+    processor's intervening write invalidates the copy — an
+    invalidation-based protocol at trace granularity). *)
+
+type t
+
+val create : bytes:int -> assoc:int -> line:int -> t
+
+val lookup : t -> version:int -> addr:int -> bool
+(** [lookup c ~version ~addr] — true on a coherent hit; updates LRU. *)
+
+val fill : t -> version:int -> addr:int -> unit
+(** Insert the line (evicting LRU), tagged with [version]. *)
+
+val line_of : t -> int -> int
+(** Line number of a byte address. *)

@@ -1,0 +1,130 @@
+type t = {
+  name : string;
+  clock_mhz : int;
+  fetch_width : int;
+  issue_width : int;
+  retire_width : int;
+  window : int;
+  max_branches : int;
+  alus : int;
+  fpus : int;
+  addr_units : int;
+  line : int;
+  l1_bytes : int;
+  l1_assoc : int;
+  l1_lat : int;
+  l2_bytes : int option;
+  l2_assoc : int;
+  l2_lat : int;
+  mshrs : int;
+  write_buffer : int;
+  mem_lat : int;
+  remote_lat : int;
+  c2c_lat : int;
+  hop_cycles : int;
+  banks : int;
+  bank_busy : int;
+  bus_req_occ : int;
+  bus_data_occ : int;
+  skewed_interleave : bool;
+  smp : bool;
+}
+
+let base =
+  {
+    name = "base-500MHz";
+    clock_mhz = 500;
+    fetch_width = 4;
+    issue_width = 4;
+    retire_width = 4;
+    window = 64;
+    max_branches = 16;
+    alus = 2;
+    fpus = 2;
+    addr_units = 2;
+    line = 64;
+    l1_bytes = 16 * 1024;
+    l1_assoc = 1;
+    l1_lat = 1;
+    l2_bytes = Some (64 * 1024);
+    l2_assoc = 4;
+    l2_lat = 10;
+    mshrs = 10;
+    write_buffer = 32;
+    mem_lat = 85;
+    (* minimum (adjacent-node) latencies; the 2D mesh adds hop_cycles per
+       Manhattan hop, reproducing Table 1's 180-260 / 210-310 ranges *)
+    remote_lat = 180;
+    c2c_lat = 210;
+    hop_cycles = 12;
+    banks = 4;
+    bank_busy = 25;
+    bus_req_occ = 2;
+    bus_data_occ = 6;
+    skewed_interleave = false;
+    smp = false;
+  }
+
+let with_l2 bytes t = { t with l2_bytes = Some bytes }
+
+let ghz t =
+  {
+    t with
+    name = t.name ^ "-1GHz";
+    clock_mhz = t.clock_mhz * 2;
+    l2_lat = t.l2_lat * 2;
+    mem_lat = t.mem_lat * 2;
+    remote_lat = t.remote_lat * 2;
+    c2c_lat = t.c2c_lat * 2;
+    hop_cycles = t.hop_cycles * 2;
+    bank_busy = t.bank_busy * 2;
+    bus_req_occ = t.bus_req_occ * 2;
+    bus_data_occ = t.bus_data_occ * 2;
+  }
+
+let exemplar_like =
+  {
+    name = "exemplar-like";
+    clock_mhz = 180;
+    fetch_width = 4;
+    issue_width = 4;
+    retire_width = 4;
+    window = 56;
+    max_branches = 16;
+    alus = 2;
+    fpus = 2;
+    addr_units = 2;
+    line = 32;
+    l1_bytes = 1024 * 1024;
+    l1_assoc = 4;
+    l1_lat = 2;
+    l2_bytes = None;
+    l2_assoc = 1;
+    l2_lat = 0;
+    mshrs = 10;
+    write_buffer = 32;
+    mem_lat = 90;
+    remote_lat = 110;
+    c2c_lat = 140;
+    hop_cycles = 0;
+    banks = 8;
+    bank_busy = 30;
+    bus_req_occ = 2;
+    bus_data_occ = 8;
+    skewed_interleave = true;
+    smp = true;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %d MHz, %d-wide, window %d, %d MSHRs@,\
+     L1 %dKB/%d-way, L2 %s, %dB lines@,\
+     memory %d/%d/%d cycles (local/remote/c2c), %d banks (%s), %s@]"
+    t.name t.clock_mhz t.issue_width t.window t.mshrs (t.l1_bytes / 1024)
+    t.l1_assoc
+    (match t.l2_bytes with
+    | Some b -> Printf.sprintf "%dKB/%d-way lat %d" (b / 1024) t.l2_assoc t.l2_lat
+    | None -> "none")
+    t.line t.mem_lat t.remote_lat t.c2c_lat t.banks
+    (if t.skewed_interleave then "skewed" else "permutation")
+    (if t.smp then "SMP shared bus" else "CC-NUMA")

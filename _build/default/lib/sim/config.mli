@@ -1,0 +1,62 @@
+(** Simulated machine configurations (paper Table 1 and §4.1).
+
+    All latencies are in processor cycles; the uncontended end-to-end
+    memory latencies ([mem_lat], [remote_lat], [c2c_lat]) already include
+    the bus and bank occupancies, which the memory system subtracts when
+    computing contention. *)
+
+type t = {
+  name : string;
+  clock_mhz : int;
+  (* core *)
+  fetch_width : int;
+  issue_width : int;
+  retire_width : int;
+  window : int;
+  max_branches : int;
+  alus : int;
+  fpus : int;
+  addr_units : int;
+  (* caches *)
+  line : int;  (** cache line size, bytes *)
+  l1_bytes : int;
+  l1_assoc : int;
+  l1_lat : int;
+  l2_bytes : int option;  (** [None]: single-level hierarchy (Exemplar) *)
+  l2_assoc : int;
+  l2_lat : int;
+  mshrs : int;
+  write_buffer : int;
+  (* memory system *)
+  mem_lat : int;  (** local memory, uncontended *)
+  remote_lat : int;  (** remote (home on another node), uncontended *)
+  c2c_lat : int;  (** cache-to-cache (dirty on another node), uncontended *)
+  hop_cycles : int;
+      (** additional cycles per Manhattan hop on the 2D mesh (Table 1's
+          flit delay); remote latencies are minimum + hops x this *)
+  banks : int;
+  bank_busy : int;  (** bank occupancy per access *)
+  bus_req_occ : int;  (** bus occupancy of the request *)
+  bus_data_occ : int;  (** bus occupancy of the line transfer *)
+  skewed_interleave : bool;  (** skewed vs permutation bank interleaving *)
+  smp : bool;  (** true: one bus + one bank set shared by all processors
+                   (Exemplar hypernode); false: CC-NUMA per-node memory *)
+}
+
+val base : t
+(** The paper's base system: 500 MHz, 4-wide, 64-entry window, 16 KB L1,
+    64 KB 4-way L2, 10 MSHRs, 64 B lines, 85-cycle local memory. *)
+
+val with_l2 : int -> t -> t
+(** Override the L2 size (Table 1 uses 64 KB or 1 MB per application). *)
+
+val ghz : t -> t
+(** 1 GHz variant: identical memory system in ns, so all memory-side
+    latencies double in cycles (§5.2). *)
+
+val exemplar_like : t
+(** Convex Exemplar-like SMP node: 4-wide PA-8000-ish core, 56-entry
+    window, single-level 1 MB cache with 32 B lines, 10 outstanding
+    misses, skewed interleaving, shared bus and banks. *)
+
+val pp : Format.formatter -> t -> unit

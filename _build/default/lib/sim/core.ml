@@ -1,0 +1,435 @@
+open Memclust_codegen
+
+type shared = {
+  cfg : Config.t;
+  mem : Memsys.t;
+  versions : (int, int * int) Hashtbl.t;
+  home : int -> int;
+  reached : int array;
+  nprocs : int;
+}
+
+type mshr_entry = {
+  mutable ready : int;
+  mutable has_read : bool;
+  mutable has_write : bool;
+  mutable prefetch_only : bool;  (* allocated by a prefetch, no demand yet *)
+}
+
+type t = {
+  proc : int;
+  trace : Trace.t;
+  sh : shared;
+  l1 : Cache.t;
+  l2 : Cache.t option;
+  mshrs : (int, mshr_entry) Hashtbl.t;
+  (* reorder buffer: ring over trace indices [head, tail) *)
+  state : int array;  (* 0 = waiting, 1 = scheduled/completed *)
+  done_at : int array;
+  mutable head : int;
+  mutable tail : int;
+  mutable branches : int;
+  (* write buffer *)
+  wpending : int Queue.t;
+  mutable winflight : int list;
+  (* statistics *)
+  bd : Breakdown.t;
+  mutable l2_miss_count : int;
+  mutable read_miss_count : int;
+  mutable read_miss_lat : float;
+  mutable retired_count : int;
+  mutable l1_miss_count : int;
+  mutable mshr_full_events : int;
+  mutable wbuf_full_events : int;
+  mutable prefetch_count : int;
+  mutable prefetch_miss_count : int;  (* prefetches that went to memory *)
+  mutable late_prefetch_count : int;  (* demand loads catching an in-flight prefetch *)
+}
+
+let make_shared cfg ~nprocs ~home =
+  {
+    cfg;
+    mem = Memsys.create cfg ~nprocs;
+    versions = Hashtbl.create 4096;
+    home;
+    reached = Array.make nprocs 0;
+    nprocs;
+  }
+
+let create sh ~proc trace =
+  let cfg = sh.cfg in
+  {
+    proc;
+    trace;
+    sh;
+    l1 = Cache.create ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
+        ~line:cfg.Config.line;
+    l2 =
+      Option.map
+        (fun bytes ->
+          Cache.create ~bytes ~assoc:cfg.Config.l2_assoc ~line:cfg.Config.line)
+        cfg.Config.l2_bytes;
+    mshrs = Hashtbl.create 32;
+    state = Array.make cfg.Config.window 0;
+    done_at = Array.make cfg.Config.window 0;
+    head = 0;
+    tail = 0;
+    branches = 0;
+    wpending = Queue.create ();
+    winflight = [];
+    bd = Breakdown.create ();
+    l2_miss_count = 0;
+    read_miss_count = 0;
+    read_miss_lat = 0.0;
+    retired_count = 0;
+    l1_miss_count = 0;
+    mshr_full_events = 0;
+    wbuf_full_events = 0;
+    prefetch_count = 0;
+    prefetch_miss_count = 0;
+    late_prefetch_count = 0;
+  }
+
+let slot t i = i mod t.sh.cfg.Config.window
+
+let line_of t addr = addr / t.sh.cfg.Config.line
+
+let version t line =
+  match Hashtbl.find_opt t.sh.versions line with
+  | Some vw -> vw
+  | None -> (0, -1)
+
+let miss_kind t ~writer addr =
+  if t.sh.nprocs = 1 then Memsys.Local
+  else if writer >= 0 && writer <> t.proc then Memsys.Dirty_remote
+  else if t.sh.home addr = t.proc then Memsys.Local
+  else Memsys.Remote
+
+(* Demand load: [Some ready] or [None] when no MSHR is available. *)
+let access_read t ~now addr =
+  let cfg = t.sh.cfg in
+  let line = line_of t addr in
+  match Hashtbl.find_opt t.mshrs line with
+  | Some e ->
+      if e.prefetch_only then begin
+        (* the prefetch launched the line but too late to hide it fully *)
+        t.late_prefetch_count <- t.late_prefetch_count + 1;
+        e.prefetch_only <- false
+      end;
+      e.has_read <- true;
+      Some e.ready
+  | None ->
+      let v, w = version t line in
+      if Cache.lookup t.l1 ~version:v ~addr then Some (now + cfg.Config.l1_lat)
+      else begin
+        t.l1_miss_count <- t.l1_miss_count + 1;
+        let l2_hit =
+          match t.l2 with
+          | Some l2 when Cache.lookup l2 ~version:v ~addr ->
+              Cache.fill t.l1 ~version:v ~addr;
+              true
+          | _ -> false
+        in
+        if l2_hit then Some (now + cfg.Config.l2_lat)
+        else if Hashtbl.length t.mshrs >= cfg.Config.mshrs then begin
+          t.mshr_full_events <- t.mshr_full_events + 1;
+          None
+        end
+        else begin
+          let kind = miss_kind t ~writer:w addr in
+          let home = t.sh.home addr in
+          let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+          Hashtbl.add t.mshrs line
+            { ready; has_read = true; has_write = false; prefetch_only = false };
+          Cache.fill t.l1 ~version:v ~addr;
+          Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
+          t.l2_miss_count <- t.l2_miss_count + 1;
+          t.read_miss_count <- t.read_miss_count + 1;
+          t.read_miss_lat <- t.read_miss_lat +. float_of_int (ready - now);
+          Some ready
+        end
+      end
+
+(* Write-buffer drain access (write-allocate). *)
+let access_write t ~now addr =
+  let cfg = t.sh.cfg in
+  let line = line_of t addr in
+  let v, w = version t line in
+  (* coherence: a write by a new owner invalidates all other copies *)
+  let v' = if w <> t.proc && w >= 0 then v + 1 else v in
+  let commit () = Hashtbl.replace t.sh.versions line (v', t.proc) in
+  match Hashtbl.find_opt t.mshrs line with
+  | Some e ->
+      e.has_write <- true;
+      commit ();
+      Cache.fill t.l1 ~version:v' ~addr;
+      Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
+      Some e.ready
+  | None ->
+      let owned = w = t.proc || w < 0 in
+      let l1_hit = owned && Cache.lookup t.l1 ~version:v ~addr in
+      let l2_hit =
+        owned
+        &&
+        match t.l2 with
+        | Some l2 -> Cache.lookup l2 ~version:v ~addr
+        | None -> false
+      in
+      if l1_hit || l2_hit then begin
+        commit ();
+        Cache.fill t.l1 ~version:v' ~addr;
+        Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
+        Some (now + if l1_hit then cfg.Config.l1_lat else cfg.Config.l2_lat)
+      end
+      else if Hashtbl.length t.mshrs >= cfg.Config.mshrs then None
+      else begin
+        let kind = miss_kind t ~writer:w addr in
+        let home = t.sh.home addr in
+        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+        Hashtbl.add t.mshrs line
+          { ready; has_read = false; has_write = true; prefetch_only = false };
+        commit ();
+        Cache.fill t.l1 ~version:v' ~addr;
+        Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
+        t.l2_miss_count <- t.l2_miss_count + 1;
+        Some ready
+      end
+
+(* Non-binding prefetch: fills the caches if it can get an MSHR, is
+   dropped when the line is already present/in flight or when no MSHR is
+   available (as hardware drops hint prefetches under pressure). *)
+let access_prefetch t ~now addr =
+  let cfg = t.sh.cfg in
+  let line = line_of t addr in
+  t.prefetch_count <- t.prefetch_count + 1;
+  match Hashtbl.find_opt t.mshrs line with
+  | Some _ -> ()
+  | None ->
+      let v, w = version t line in
+      let l1_hit = Cache.lookup t.l1 ~version:v ~addr in
+      let l2_hit =
+        (not l1_hit)
+        &&
+        match t.l2 with
+        | Some l2 when Cache.lookup l2 ~version:v ~addr ->
+            Cache.fill t.l1 ~version:v ~addr;
+            true
+        | _ -> false
+      in
+      if (not l1_hit) && (not l2_hit)
+         && Hashtbl.length t.mshrs < cfg.Config.mshrs
+      then begin
+        let kind = miss_kind t ~writer:w addr in
+        let home = t.sh.home addr in
+        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+        Hashtbl.add t.mshrs line
+          { ready; has_read = false; has_write = false; prefetch_only = true };
+        Cache.fill t.l1 ~version:v ~addr;
+        Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
+        t.prefetch_miss_count <- t.prefetch_miss_count + 1
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let cleanup_mshrs t ~now =
+  let expired =
+    Hashtbl.fold (fun line e acc -> if e.ready <= now then line :: acc else acc)
+      t.mshrs []
+  in
+  List.iter (Hashtbl.remove t.mshrs) expired
+
+let drain_wbuf t ~now =
+  t.winflight <- List.filter (fun c -> c > now) t.winflight;
+  if not (Queue.is_empty t.wpending) then begin
+    let addr = Queue.peek t.wpending in
+    match access_write t ~now addr with
+    | Some completion ->
+        ignore (Queue.pop t.wpending);
+        t.winflight <- completion :: t.winflight
+    | None -> ()
+  end
+
+let wbuf_occupancy t = Queue.length t.wpending + List.length t.winflight
+
+let barrier_satisfied t aux =
+  let ok = ref true in
+  Array.iter (fun r -> if r < aux then ok := false) t.sh.reached;
+  !ok
+
+let retire t ~now =
+  let cfg = t.sh.cfg in
+  let width = cfg.Config.retire_width in
+  let r = ref 0 in
+  let stall_category = ref None in
+  let continue_ = ref true in
+  while !continue_ && !r < width && t.head < t.tail do
+    let i = t.head in
+    let s = slot t i in
+    match Trace.kind t.trace i with
+    | Trace.Barrier_op ->
+        let b = Trace.aux t.trace i in
+        if t.sh.reached.(t.proc) < b then t.sh.reached.(t.proc) <- b;
+        if barrier_satisfied t b then begin
+          t.head <- i + 1;
+          t.retired_count <- t.retired_count + 1;
+          incr r
+        end
+        else begin
+          stall_category := Some `Sync;
+          continue_ := false
+        end
+    | kind ->
+        if t.state.(s) = 1 && t.done_at.(s) <= now then begin
+          t.head <- i + 1;
+          t.retired_count <- t.retired_count + 1;
+          incr r
+        end
+        else begin
+          stall_category :=
+            Some
+              (match kind with
+              | Trace.Load | Trace.Store -> `Data
+              | Trace.Int_op | Trace.Fp_op | Trace.Branch | Trace.Prefetch_op ->
+                  `Cpu
+              | Trace.Barrier_op -> `Sync);
+          continue_ := false
+        end
+  done;
+  let busy_frac = float_of_int !r /. float_of_int width in
+  t.bd.Breakdown.busy <- t.bd.Breakdown.busy +. busy_frac;
+  let stall_frac = 1.0 -. busy_frac in
+  if stall_frac > 0.0 then begin
+    match !stall_category with
+    | Some `Data -> t.bd.Breakdown.data_stall <- t.bd.Breakdown.data_stall +. stall_frac
+    | Some `Sync -> t.bd.Breakdown.sync_stall <- t.bd.Breakdown.sync_stall +. stall_frac
+    | Some `Cpu | None ->
+        t.bd.Breakdown.cpu_stall <- t.bd.Breakdown.cpu_stall +. stall_frac
+  end
+
+let dep_done t ~now d =
+  d < 0 || d < t.head || (t.state.(slot t d) = 1 && t.done_at.(slot t d) <= now)
+
+let issue t ~now =
+  let cfg = t.sh.cfg in
+  let issued = ref 0 in
+  let alu = ref 0 and fpu = ref 0 and mem_u = ref 0 in
+  let i = ref t.head in
+  while !i < t.tail && !issued < cfg.Config.issue_width do
+    let s = slot t !i in
+    if t.state.(s) = 0
+       && dep_done t ~now (Trace.dep1 t.trace !i)
+       && dep_done t ~now (Trace.dep2 t.trace !i)
+    then begin
+      (match Trace.kind t.trace !i with
+      | Trace.Int_op ->
+          if !alu < cfg.Config.alus then begin
+            incr alu;
+            t.state.(s) <- 1;
+            t.done_at.(s) <- now + 1;
+            incr issued
+          end
+      | Trace.Branch ->
+          if !alu < cfg.Config.alus then begin
+            incr alu;
+            t.state.(s) <- 1;
+            t.done_at.(s) <- now + 1;
+            t.branches <- max 0 (t.branches - 1);
+            incr issued
+          end
+      | Trace.Fp_op ->
+          if !fpu < cfg.Config.fpus then begin
+            incr fpu;
+            t.state.(s) <- 1;
+            t.done_at.(s) <- now + Trace.aux t.trace !i;
+            incr issued
+          end
+      | Trace.Load ->
+          if !mem_u < cfg.Config.addr_units then begin
+            match access_read t ~now (Trace.aux t.trace !i) with
+            | Some ready ->
+                incr mem_u;
+                t.state.(s) <- 1;
+                t.done_at.(s) <- ready;
+                incr issued
+            | None -> () (* MSHRs full: retry next cycle *)
+          end
+      | Trace.Store ->
+          if !mem_u < cfg.Config.addr_units
+             && wbuf_occupancy t >= cfg.Config.write_buffer
+          then t.wbuf_full_events <- t.wbuf_full_events + 1;
+          if !mem_u < cfg.Config.addr_units
+             && wbuf_occupancy t < cfg.Config.write_buffer
+          then begin
+            incr mem_u;
+            Queue.push (Trace.aux t.trace !i) t.wpending;
+            t.state.(s) <- 1;
+            t.done_at.(s) <- now;
+            incr issued
+          end
+      | Trace.Prefetch_op ->
+          if !mem_u < cfg.Config.addr_units then begin
+            incr mem_u;
+            access_prefetch t ~now (Trace.aux t.trace !i);
+            t.state.(s) <- 1;
+            t.done_at.(s) <- now;
+            incr issued
+          end
+      | Trace.Barrier_op ->
+          t.state.(s) <- 1;
+          t.done_at.(s) <- now);
+      ()
+    end;
+    incr i
+  done
+
+let fetch t =
+  let cfg = t.sh.cfg in
+  let len = Trace.length t.trace in
+  let fetched = ref 0 in
+  while
+    t.tail < len
+    && t.tail - t.head < cfg.Config.window
+    && !fetched < cfg.Config.fetch_width
+    && t.branches < cfg.Config.max_branches
+  do
+    let s = slot t t.tail in
+    t.state.(s) <- 0;
+    t.done_at.(s) <- 0;
+    (match Trace.kind t.trace t.tail with
+    | Trace.Branch -> t.branches <- t.branches + 1
+    | _ -> ());
+    t.tail <- t.tail + 1;
+    incr fetched
+  done
+
+let finished t =
+  t.head >= Trace.length t.trace
+  && Queue.is_empty t.wpending
+  && t.winflight = []
+
+let step t ~now =
+  cleanup_mshrs t ~now;
+  drain_wbuf t ~now;
+  if t.head < Trace.length t.trace then retire t ~now;
+  issue t ~now;
+  fetch t
+
+let breakdown t = t.bd
+
+let mshr_read_occupancy t =
+  Hashtbl.fold (fun _ e acc -> if e.has_read then acc + 1 else acc) t.mshrs 0
+
+let mshr_total_occupancy t = Hashtbl.length t.mshrs
+
+let l2_misses t = t.l2_miss_count
+let read_misses t = t.read_miss_count
+let read_miss_latency_sum t = t.read_miss_lat
+let retired_instructions t = t.retired_count
+
+let l1_misses t = t.l1_miss_count
+let mshr_full_events t = t.mshr_full_events
+let wbuf_full_events t = t.wbuf_full_events
+
+let prefetches t = t.prefetch_count
+let prefetch_misses t = t.prefetch_miss_count
+let late_prefetches t = t.late_prefetch_count

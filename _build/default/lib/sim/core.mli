@@ -1,0 +1,64 @@
+(** The out-of-order processor core.
+
+    Models exactly the mechanisms the paper's effect depends on: a finite
+    instruction window with in-order retire (up to retire_width per cycle),
+    out-of-order issue bounded by functional units, non-blocking loads
+    through a finite MSHR file with same-line coalescing, and stores that
+    retire into a write buffer before completing (release consistency).
+
+    One [t] per processor; all processors share a {!shared} context (memory
+    system, coherence versions, barrier state). *)
+
+open Memclust_codegen
+
+type shared = {
+  cfg : Config.t;
+  mem : Memsys.t;
+  versions : (int, int * int) Hashtbl.t;
+      (** line -> (coherence version, last writer) *)
+  home : int -> int;  (** home node of a byte address *)
+  reached : int array;  (** per-processor barrier progress *)
+  nprocs : int;
+}
+
+type t
+
+val make_shared : Config.t -> nprocs:int -> home:(int -> int) -> shared
+val create : shared -> proc:int -> Trace.t -> t
+
+val step : t -> now:int -> unit
+(** One cycle: MSHR cleanup, write-buffer drain, retire (with stall
+    attribution), issue, fetch. *)
+
+val finished : t -> bool
+val breakdown : t -> Breakdown.t
+
+val mshr_read_occupancy : t -> int
+(** MSHRs currently holding at least one read miss. *)
+
+val mshr_total_occupancy : t -> int
+
+val l2_misses : t -> int
+val read_misses : t -> int
+
+val read_miss_latency_sum : t -> float
+(** Sum over demand read misses of request-to-completion cycles. *)
+
+val retired_instructions : t -> int
+
+val l1_misses : t -> int
+(** demand-load L1 misses (L2 hits + L2 misses) *)
+
+val mshr_full_events : t -> int
+(** load-issue attempts rejected because all MSHRs were busy *)
+
+val wbuf_full_events : t -> int
+
+val prefetches : t -> int
+(** prefetch hints issued *)
+
+val prefetch_misses : t -> int
+(** prefetches that actually fetched a line from memory *)
+
+val late_prefetches : t -> int
+(** demand loads that caught a still-in-flight prefetch *)

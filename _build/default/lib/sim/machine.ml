@@ -1,0 +1,121 @@
+open Memclust_util
+open Memclust_codegen
+
+type result = {
+  cycles : int;
+  breakdown : Breakdown.t;
+  per_proc : Breakdown.t array;
+  read_mshr_hist : Stats.Histogram.t;
+  total_mshr_hist : Stats.Histogram.t;
+  l2_misses : int;
+  read_misses : int;
+  l1_misses : int;
+  mshr_full_events : int;
+  wbuf_full_events : int;
+  prefetches : int;
+  prefetch_misses : int;
+  late_prefetches : int;
+  avg_read_miss_latency : float;
+  bus_utilization : float;
+  bank_utilization : float;
+  instructions : int;
+}
+
+let ns_per_cycle (cfg : Config.t) = 1000.0 /. float_of_int cfg.Config.clock_mhz
+
+let run ?(max_cycles = 400_000_000) (cfg : Config.t) ~home (lower : Lower.t) =
+  let nprocs = Array.length lower.Lower.traces in
+  let sh = Core.make_shared cfg ~nprocs ~home in
+  let procs =
+    Array.mapi (fun p trace -> Core.create sh ~proc:p trace) lower.Lower.traces
+  in
+  let read_hist = Stats.Histogram.create (cfg.Config.mshrs + 1) in
+  let total_hist = Stats.Histogram.create (cfg.Config.mshrs + 1) in
+  let cycle = ref 0 in
+  let running = ref true in
+  while !running do
+    if !cycle > max_cycles then
+      failwith
+        (Printf.sprintf "Machine.run: exceeded %d cycles (deadlock?)" max_cycles);
+    running := false;
+    for p = 0 to nprocs - 1 do
+      if not (Core.finished procs.(p)) then begin
+        Core.step procs.(p) ~now:!cycle;
+        if not (Core.finished procs.(p)) then running := true
+      end
+      else begin
+        (* finished early: waiting for the others *)
+        let bd = Core.breakdown procs.(p) in
+        bd.Breakdown.sync_stall <- bd.Breakdown.sync_stall +. 1.0
+      end;
+      Stats.Histogram.add read_hist (Core.mshr_read_occupancy procs.(p));
+      Stats.Histogram.add total_hist (Core.mshr_total_occupancy procs.(p))
+    done;
+    if !running then incr cycle
+  done;
+  let cycles = !cycle + 1 in
+  let per_proc = Array.map Core.breakdown procs in
+  (* each processor was attributed for the cycles before its own finish
+     only; pad with sync so every processor accounts for [cycles] *)
+  Array.iter
+    (fun bd ->
+      let missing = float_of_int cycles -. Breakdown.total bd in
+      if missing > 0.0 then
+        bd.Breakdown.sync_stall <- bd.Breakdown.sync_stall +. missing)
+    per_proc;
+  let breakdown = Breakdown.create () in
+  Array.iter (fun bd -> Breakdown.add breakdown bd) per_proc;
+  let breakdown = Breakdown.scale breakdown (1.0 /. float_of_int nprocs) in
+  let l2_misses = Array.fold_left (fun acc p -> acc + Core.l2_misses p) 0 procs in
+  let read_misses =
+    Array.fold_left (fun acc p -> acc + Core.read_misses p) 0 procs
+  in
+  let l1_misses = Array.fold_left (fun acc p -> acc + Core.l1_misses p) 0 procs in
+  let mshr_full_events =
+    Array.fold_left (fun acc p -> acc + Core.mshr_full_events p) 0 procs
+  in
+  let wbuf_full_events =
+    Array.fold_left (fun acc p -> acc + Core.wbuf_full_events p) 0 procs
+  in
+  let prefetches = Array.fold_left (fun acc p -> acc + Core.prefetches p) 0 procs in
+  let prefetch_misses =
+    Array.fold_left (fun acc p -> acc + Core.prefetch_misses p) 0 procs
+  in
+  let late_prefetches =
+    Array.fold_left (fun acc p -> acc + Core.late_prefetches p) 0 procs
+  in
+  let lat_sum =
+    Array.fold_left (fun acc p -> acc +. Core.read_miss_latency_sum p) 0.0 procs
+  in
+  {
+    cycles;
+    breakdown;
+    per_proc;
+    read_mshr_hist = read_hist;
+    total_mshr_hist = total_hist;
+    l2_misses;
+    read_misses;
+    l1_misses;
+    mshr_full_events;
+    wbuf_full_events;
+    prefetches;
+    prefetch_misses;
+    late_prefetches;
+    avg_read_miss_latency =
+      (if read_misses = 0 then 0.0 else lat_sum /. float_of_int read_misses);
+    bus_utilization = Memsys.bus_utilization sh.Core.mem ~upto:cycles;
+    bank_utilization = Memsys.bank_utilization sh.Core.mem ~upto:cycles;
+    instructions =
+      Array.fold_left (fun acc p -> acc + Core.retired_instructions p) 0 procs;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>cycles %d, instrs %d (IPC %.2f)@,%a@,\
+     L2 misses %d (reads %d, avg latency %.1f cycles), L1 misses %d, mshr-full %d, wbuf-full %d@,\
+     bus util %.2f, bank util %.2f@]"
+    r.cycles r.instructions
+    (float_of_int r.instructions /. float_of_int (max 1 r.cycles))
+    Breakdown.pp r.breakdown r.l2_misses r.read_misses r.avg_read_miss_latency
+    r.l1_misses r.mshr_full_events r.wbuf_full_events
+    r.bus_utilization r.bank_utilization

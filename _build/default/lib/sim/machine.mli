@@ -1,0 +1,38 @@
+(** Multiprocessor simulation driver: lockstep cycle loop over all cores
+    sharing one memory system, with per-cycle MSHR-occupancy sampling
+    (Figure 4) and execution-time breakdowns (Figure 3). *)
+
+open Memclust_util
+open Memclust_codegen
+
+type result = {
+  cycles : int;
+  breakdown : Breakdown.t;
+      (** averaged over processors, so its total equals [cycles]; cycles a
+          processor spends finished while others run count as sync *)
+  per_proc : Breakdown.t array;
+  read_mshr_hist : Stats.Histogram.t;
+      (** per-cycle samples of read-occupied L2 MSHRs, all processors *)
+  total_mshr_hist : Stats.Histogram.t;
+  l2_misses : int;
+  read_misses : int;
+  l1_misses : int;  (** demand-load L1 misses *)
+  mshr_full_events : int;  (** load issues rejected: MSHRs full *)
+  wbuf_full_events : int;  (** store issues rejected: write buffer full *)
+  prefetches : int;  (** prefetch hints issued *)
+  prefetch_misses : int;  (** prefetches that fetched from memory *)
+  late_prefetches : int;  (** demand loads catching an in-flight prefetch *)
+  avg_read_miss_latency : float;  (** cycles, request to completion *)
+  bus_utilization : float;
+  bank_utilization : float;
+  instructions : int;
+}
+
+val run : ?max_cycles:int -> Config.t -> home:(int -> int) -> Lower.t -> result
+(** Simulate the traces to completion. [home] maps byte addresses to their
+    home node. Raises [Failure] if [max_cycles] (default 400 million) is
+    exceeded — a deadlock guard. *)
+
+val ns_per_cycle : Config.t -> float
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/transform/balanced_sched.ml: Array List Locality Memclust_locality Schedule

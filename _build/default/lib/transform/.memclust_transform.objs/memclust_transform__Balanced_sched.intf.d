@@ -1,0 +1,1 @@
+lib/transform/balanced_sched.mli: Ast Locality Memclust_ir Memclust_locality

@@ -1,0 +1,1 @@
+lib/transform/fuse.ml: Affine Ast Format Legality List Memclust_ir Printf Program String Subst

@@ -1,0 +1,1 @@
+lib/transform/fuse.mli: Ast Format Legality Memclust_ir

@@ -1,0 +1,1 @@
+lib/transform/inner_unroll.ml: Affine Ast Hashtbl List Memclust_ir Printf Program Subst

@@ -1,0 +1,1 @@
+lib/transform/inner_unroll.mli: Ast Memclust_ir

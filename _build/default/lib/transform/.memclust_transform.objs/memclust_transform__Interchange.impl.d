@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Affine Ast Legality List Memclust_ir

@@ -1,0 +1,1 @@
+lib/transform/interchange.mli: Ast Legality Memclust_ir

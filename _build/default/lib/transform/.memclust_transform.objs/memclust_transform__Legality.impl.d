@@ -1,0 +1,1 @@
+lib/transform/legality.ml: Affine Ast Hashtbl List Memclust_ir Program String

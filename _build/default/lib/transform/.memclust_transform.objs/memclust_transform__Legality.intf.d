@@ -1,0 +1,1 @@
+lib/transform/legality.mli: Ast Memclust_ir

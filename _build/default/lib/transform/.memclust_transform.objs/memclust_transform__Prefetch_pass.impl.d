@@ -1,0 +1,1 @@
+lib/transform/prefetch_pass.ml: Affine Ast List Locality Measure Memclust_ir Memclust_locality Program String

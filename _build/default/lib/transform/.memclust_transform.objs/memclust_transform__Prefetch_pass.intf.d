@@ -1,0 +1,1 @@
+lib/transform/prefetch_pass.mli: Ast Locality Memclust_ir Memclust_locality

@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.ml: Affine Ast List Memclust_ir Printf Program String

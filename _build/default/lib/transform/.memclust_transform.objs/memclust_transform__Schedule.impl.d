@@ -1,0 +1,1 @@
+lib/transform/schedule.ml: Affine Array Ast List Locality Memclust_ir Memclust_locality String

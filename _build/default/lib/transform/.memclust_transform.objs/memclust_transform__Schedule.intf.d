@@ -1,0 +1,1 @@
+lib/transform/schedule.mli: Ast Locality Memclust_ir Memclust_locality

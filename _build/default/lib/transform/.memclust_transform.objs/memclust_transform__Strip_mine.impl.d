@@ -1,0 +1,1 @@
+lib/transform/strip_mine.ml: Affine Ast Interchange List Memclust_ir

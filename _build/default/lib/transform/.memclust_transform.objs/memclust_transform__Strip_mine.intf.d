@@ -1,0 +1,1 @@
+lib/transform/strip_mine.mli: Ast Legality Memclust_ir

@@ -1,0 +1,1 @@
+lib/transform/subst.ml: Affine Ast Fun List Memclust_ir Option String

@@ -1,0 +1,1 @@
+lib/transform/subst.mli: Affine Ast Memclust_ir

@@ -1,0 +1,1 @@
+lib/transform/unroll_jam.ml: Affine Ast Format Hashtbl Legality List Memclust_ir Printf Program String Subst

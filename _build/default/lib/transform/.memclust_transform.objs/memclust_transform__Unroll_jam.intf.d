@@ -1,0 +1,1 @@
+lib/transform/unroll_jam.mli: Ast Format Legality Memclust_ir

@@ -1,0 +1,85 @@
+open Memclust_locality
+
+(* Load-latency weight: a load's schedulable weight grows with the
+   independent work available to hide it, split among the competing loads
+   (the Kerns & Eggers balance ratio, at statement granularity). *)
+let weights (loc : Locality.t) stmts ancestors descendants =
+  let n = Array.length stmts in
+  let loads =
+    Array.to_list stmts
+    |> List.filteri (fun i _ -> ignore i; true)
+    |> List.mapi (fun i s -> (i, Schedule.is_miss_load loc s))
+    |> List.filter snd |> List.map fst
+  in
+  let nloads = max 1 (List.length loads) in
+  Array.init n (fun i ->
+      if Schedule.is_miss_load loc stmts.(i) then begin
+        let independent = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i && (not ancestors.(i).(j)) && not descendants.(i).(j) then
+            incr independent
+        done;
+        1 + (!independent / nloads)
+      end
+      else 1)
+
+let reorder loc stmts =
+  let n = List.length stmts in
+  if n <= 1 then stmts
+  else begin
+    let arr = Array.of_list stmts in
+    (* dependence edges in program order *)
+    let edge = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Schedule.stmts_conflict arr.(i) arr.(j) then edge.(i).(j) <- true
+      done
+    done;
+    (* transitive ancestor/descendant closures *)
+    let anc = Array.make_matrix n n false in
+    let desc = Array.make_matrix n n false in
+    for j = 0 to n - 1 do
+      for i = 0 to j - 1 do
+        if edge.(i).(j) then begin
+          anc.(j).(i) <- true;
+          for k = 0 to n - 1 do
+            if anc.(i).(k) then anc.(j).(k) <- true
+          done
+        end
+      done
+    done;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if anc.(i).(j) then desc.(j).(i) <- true
+      done
+    done;
+    let w = weights loc arr anc desc in
+    (* critical-path height *)
+    let height = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      let best = ref 0 in
+      for j = i + 1 to n - 1 do
+        if edge.(i).(j) && height.(j) > !best then best := height.(j)
+      done;
+      height.(i) <- w.(i) + !best
+    done;
+    (* greedy list scheduling: ready statement with the tallest height *)
+    let emitted = Array.make n false in
+    let out = ref [] in
+    for _ = 1 to n do
+      let pick = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not emitted.(i))
+           && (let ok = ref true in
+               for j = 0 to i - 1 do
+                 if edge.(j).(i) && not emitted.(j) then ok := false
+               done;
+               !ok)
+           && (!pick < 0 || height.(i) > height.(!pick))
+        then pick := i
+      done;
+      emitted.(!pick) <- true;
+      out := arr.(!pick) :: !out
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,20 @@
+(** Balanced scheduling (Kerns & Eggers; Lo & Eggers), at statement
+    granularity — the local scheduling heuristic the paper used for its
+    window-constraint codes before noting that it "may miss some
+    opportunities since it does not explicitly consider window size"
+    (§3.3). Provided as the comparison baseline for
+    {!Schedule.pack_misses}.
+
+    Instead of packing all miss loads first, balanced scheduling assigns
+    each load a latency weight equal to the independent work available to
+    hide it, and list-schedules by critical-path height — loads are pulled
+    early only in proportion to the slack around them. *)
+
+open Memclust_ir
+open Memclust_locality
+open Ast
+
+val reorder : Locality.t -> stmt list -> stmt list
+(** Reorder a loop body by balanced list scheduling. Dependences are the
+    same conservative statement-level ones {!Schedule} uses; the result is
+    always a permutation of the input. *)

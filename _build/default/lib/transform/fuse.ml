@@ -1,0 +1,129 @@
+open Memclust_ir
+open Ast
+
+type error =
+  | Shape_mismatch of string
+  | Illegal of string
+  | Scalar_conflict of string
+
+let pp_error ppf = function
+  | Shape_mismatch m -> Format.fprintf ppf "shape mismatch: %s" m
+  | Illegal m -> Format.fprintf ppf "illegal: %s" m
+  | Scalar_conflict m -> Format.fprintf ppf "scalar conflict: %s" m
+
+(* first access per scalar in a pre-order walk (see Unroll_jam) *)
+let write_first stmts v =
+  let first = ref None in
+  let note kind = if !first = None then first := Some kind in
+  let rec expr e =
+    match e with
+    | Const _ | Ivar _ -> ()
+    | Scalar v' -> if String.equal v v' then note `Read
+    | Load r -> ref_ r
+    | Unop (_, a) -> expr a
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+  and ref_ r =
+    match r.target with
+    | Direct _ -> ()
+    | Indirect { index; _ } -> expr index
+    | Field { ptr; _ } -> expr ptr
+  in
+  let rec stmt s =
+    match s with
+    | Assign (Lscalar v', e) ->
+        expr e;
+        if String.equal v v' then note `Write
+    | Assign (Lmem r, e) ->
+        expr e;
+        ref_ r
+    | Use e -> expr e
+    | Barrier -> ()
+    | Prefetch r -> ref_ r
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | Loop l -> List.iter stmt l.body
+    | Chase c ->
+        expr c.init;
+        if String.equal v c.cvar then note `Write;
+        List.iter stmt c.cbody
+  in
+  List.iter stmt stmts;
+  !first = Some `Write
+
+(* unique rename stamp per invocation; see Unroll_jam *)
+let stamp_counter = ref 0
+
+let apply ?(params = []) ?(outer_ranges = []) (l1 : loop) (l2 : loop) =
+  (* align the second loop onto the first's variable *)
+  let l2 =
+    if String.equal l1.var l2.var then l2
+    else
+      match Subst.rename_var l2.var l1.var (Loop l2) with
+      | Loop l -> l
+      | _ -> assert false
+  in
+  if not (Affine.equal l1.lo l2.lo && Affine.equal l1.hi l2.hi && l1.step = l2.step)
+  then Error (Shape_mismatch "bounds or step differ")
+  else begin
+    (* shared written scalars: privatize the second loop's copy *)
+    let w1 = Program.scalars_written l1.body in
+    let w2 = Program.scalars_written l2.body in
+    let shared = List.filter (fun v -> List.mem v w1) w2 in
+    let conflict =
+      List.find_opt
+        (fun v -> not (write_first l2.body v && write_first l1.body v))
+        shared
+    in
+    match conflict with
+    | Some v -> Error (Scalar_conflict v)
+    | None ->
+        if
+          not
+            (Legality.fusion_legal ~params ~outer_ranges ~var:l1.var l1 l2)
+        then Error (Illegal "a dependence points backwards across the fusion")
+        else begin
+          incr stamp_counter;
+          let stamp = !stamp_counter in
+          let body2 =
+            if shared = [] then l2.body
+            else
+              List.map
+                (Subst.rename_scalars (fun v ->
+                     if List.mem v shared then Printf.sprintf "%s$fused%d" v stamp
+                     else v))
+                l2.body
+          in
+          Ok
+            (Loop
+               {
+                 l1 with
+                 parallel = l1.parallel && l2.parallel;
+                 body = l1.body @ body2;
+               })
+        end
+  end
+
+let fuse_adjacent ?(params = []) (p : program) =
+  let count = ref 0 in
+  let rec pass stmts =
+    match stmts with
+    | Loop l1 :: Loop l2 :: rest -> (
+        match apply ~params l1 l2 with
+        | Ok fused ->
+            incr count;
+            pass (fused :: rest)
+        | Error _ -> (
+            match pass (Loop l2 :: rest) with
+            | [] -> [ Loop l1 ]
+            | tail -> Loop l1 :: tail))
+    | st :: rest -> st :: pass rest
+    | [] -> []
+  in
+  (* bind before building the pair: tuple components evaluate right to
+     left, which would read [count] before [pass] runs *)
+  let body = pass p.body in
+  (Program.renumber { p with body }, !count)

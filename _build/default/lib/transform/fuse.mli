@@ -1,0 +1,38 @@
+(** Loop fusion (paper §6, future work): "resolve memory-parallelism
+    recurrences for unnested loops by fusing otherwise unrelated loops".
+
+    Two adjacent loops with identical iteration spaces fuse into one whose
+    body interleaves both — each fused iteration then carries both loops'
+    leading references, clustering their misses the way unroll-and-jam
+    does for nested loops.
+
+    Legality: for every pair of a store in one loop and an access to the
+    same array in the other, no dependence may point {e backwards} across
+    the fusion (the second loop's iteration i touching an element the
+    first loop produces only at some iteration j > i, or symmetrically):
+    all dependence distances must be non-negative. Scalars written by both
+    loops are renamed apart when each loop's use is privatizable. *)
+
+open Memclust_ir
+open Ast
+
+type error =
+  | Shape_mismatch of string  (** different variables, bounds or steps *)
+  | Illegal of string  (** a backward dependence crosses the fusion *)
+  | Scalar_conflict of string  (** a shared scalar cannot be privatized *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val apply :
+  ?params:(string * int) list ->
+  ?outer_ranges:(string * Legality.var_range) list ->
+  loop ->
+  loop ->
+  (stmt, error) result
+(** [apply l1 l2] fuses two adjacent loops ([l1] immediately before
+    [l2]). The second loop's variable is renamed to the first's when the
+    names differ but the spaces match. The caller renumbers afterwards. *)
+
+val fuse_adjacent : ?params:(string * int) list -> program -> program * int
+(** Fuse every adjacent fusable pair of top-level loops, left to right;
+    returns the renumbered program and the number of fusions performed. *)

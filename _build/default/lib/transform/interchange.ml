@@ -1,0 +1,23 @@
+open Memclust_ir
+open Ast
+
+let apply ?(params = []) ?(outer_ranges = []) (l : loop) =
+  match l.body with
+  | [ Loop inner ] ->
+      if List.mem l.var (Affine.vars inner.lo) || List.mem l.var (Affine.vars inner.hi)
+      then Error "inner bounds depend on the outer variable"
+      else if
+        List.mem inner.var (Affine.vars l.lo) || List.mem inner.var (Affine.vars l.hi)
+      then Error "outer bounds depend on the inner variable"
+      else if
+        not (Legality.interchange_legal ~params ~outer_ranges ~outer:l ~inner)
+      then Error "a dependence with direction (<,>) forbids interchange"
+      else
+        Ok
+          (Loop
+             {
+               inner with
+               parallel = l.parallel;
+               body = [ Loop { l with parallel = false; body = inner.body } ];
+             })
+  | _ -> Error "not a perfect loop nest"

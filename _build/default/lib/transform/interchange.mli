@@ -1,0 +1,16 @@
+(** Loop interchange (paper Figure 2(b)): swap a perfectly nested pair of
+    loops. Used on its own it trades all spatial locality for maximal miss
+    clustering; the framework mostly uses it on postludes and in the
+    motivating examples. *)
+
+open Memclust_ir
+open Ast
+
+val apply :
+  ?params:(string * int) list ->
+  ?outer_ranges:(string * Legality.var_range) list ->
+  loop ->
+  (stmt, string) result
+(** [apply l] requires [l.body = [Loop inner]] with bounds independent of
+    each other's variables, and no dependence with direction (<, >). The
+    result is the interchanged nest. *)

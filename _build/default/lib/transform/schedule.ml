@@ -1,0 +1,161 @@
+open Memclust_ir
+open Memclust_locality
+open Ast
+
+let is_leading loc id =
+  match Locality.info loc id with
+  | exception Not_found -> false
+  | info -> (
+      match info.Locality.kind with
+      | Locality.Leading_regular _ | Locality.Leading_irregular -> true
+      | Locality.Follower _ | Locality.Inner_invariant -> false)
+
+let is_miss_load loc = function
+  | Assign (Lscalar _, Load r) -> is_leading loc r.ref_id
+  | _ -> false
+
+(* -------- per-statement read/write summaries -------- *)
+
+(* A memory location: array/region name plus the affine subscript when the
+   access is regular ([None] = irregular, may touch anything in that
+   object). Two regular accesses with the same subscript shape but
+   different constants never alias. *)
+type mem_site = string * Affine.t option
+
+type summary = {
+  s_reads : string list;  (* scalars read *)
+  s_writes : string list;  (* scalars written *)
+  s_mem_reads : mem_site list;
+  s_mem_writes : mem_site list;
+  s_barrier : bool;  (* control flow: fixed relative to everything *)
+}
+
+let sites_alias (a1, i1) (a2, i2) =
+  String.equal a1 a2
+  &&
+  match (i1, i2) with
+  | Some x, Some y ->
+      let shape a = Affine.sub a (Affine.const (Affine.constant a)) in
+      if Affine.equal (shape x) (shape y) then
+        Affine.constant x = Affine.constant y
+      else true
+  | _ -> true
+
+let summarize stmt =
+  let reads = ref [] and writes = ref [] in
+  let mreads = ref [] and mwrites = ref [] in
+  let barrier = ref false in
+  let add l v = if not (List.mem v !l) then l := v :: !l in
+  let rec expr e =
+    match e with
+    | Const _ | Ivar _ -> ()
+    | Scalar v -> add reads v
+    | Load r -> ref_ false r
+    | Unop (_, a) -> expr a
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+  and ref_ is_store r =
+    let target = if is_store then mwrites else mreads in
+    match r.target with
+    | Direct { array; index } -> add target (array, Some index)
+    | Indirect { array; index } ->
+        add target (array, None);
+        expr index
+    | Field { region; ptr; _ } ->
+        add target (region, None);
+        expr ptr
+  in
+  let rec walk s =
+    match s with
+    | Assign (Lscalar v, e) ->
+        expr e;
+        add writes v
+    | Assign (Lmem r, e) ->
+        expr e;
+        ref_ true r
+    | Use e -> expr e
+    | Prefetch r -> ref_ false r (* reads only: freely hoistable *)
+    | Barrier -> barrier := true
+    | If (c, t, e) ->
+        (* not a barrier: its summary covers both branches, and hoisting a
+           side-effect-free load across a conditional is always sound *)
+        expr c;
+        List.iter walk t;
+        List.iter walk e
+    | Loop l ->
+        barrier := true;
+        List.iter walk l.body
+    | Chase c ->
+        barrier := true;
+        expr c.init;
+        add writes c.cvar;
+        List.iter walk c.cbody
+  in
+  walk stmt;
+  {
+    s_reads = !reads;
+    s_writes = !writes;
+    s_mem_reads = !mreads;
+    s_mem_writes = !mwrites;
+    s_barrier = !barrier;
+  }
+
+let conflicts a b =
+  a.s_barrier || b.s_barrier
+  || List.exists (fun v -> List.mem v b.s_reads || List.mem v b.s_writes) a.s_writes
+  || List.exists (fun v -> List.mem v b.s_writes) a.s_reads
+  || List.exists
+       (fun m ->
+         List.exists (sites_alias m) b.s_mem_reads
+         || List.exists (sites_alias m) b.s_mem_writes)
+       a.s_mem_writes
+  || List.exists (fun m -> List.exists (sites_alias m) b.s_mem_writes) a.s_mem_reads
+
+let stmts_conflict a b = conflicts (summarize a) (summarize b)
+
+let pack_misses loc stmts =
+  let n = List.length stmts in
+  if n <= 1 then stmts
+  else begin
+    let arr = Array.of_list stmts in
+    let sums = Array.map summarize arr in
+    (* preds.(i): statements that must stay before i *)
+    let preds = Array.make n [] in
+    for i = 0 to n - 1 do
+      for j = 0 to i - 1 do
+        if conflicts sums.(j) sums.(i) then preds.(i) <- j :: preds.(i)
+      done
+    done;
+    let emitted = Array.make n false in
+    let out = ref [] in
+    let ready i =
+      (not emitted.(i)) && List.for_all (fun j -> emitted.(j)) preds.(i)
+    in
+    for _ = 0 to n - 1 do
+      (* prefer a ready miss load; otherwise the first ready statement *)
+      let pick = ref (-1) in
+      (try
+         for i = 0 to n - 1 do
+           if ready i && is_miss_load loc arr.(i) then begin
+             pick := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pick < 0 then begin
+        try
+          for i = 0 to n - 1 do
+            if ready i then begin
+              pick := i;
+              raise Exit
+            end
+          done
+        with Exit -> ()
+      end;
+      assert (!pick >= 0);
+      emitted.(!pick) <- true;
+      out := arr.(!pick) :: !out
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,63 @@
+open Memclust_ir
+open Ast
+
+let const_bounds ~params (l : loop) =
+  let env v =
+    match List.assoc_opt v params with Some k -> k | None -> raise Exit
+  in
+  match (Affine.eval env l.lo, Affine.eval env l.hi) with
+  | lo, hi -> Some (lo, hi)
+  | exception Exit -> None
+
+let strip ?(params = []) ~size (l : loop) =
+  if size <= 1 then Ok (Loop l)
+  else begin
+    match const_bounds ~params l with
+    | None -> Error "loop bounds are not constant under the parameters"
+    | Some (lo, hi) ->
+        let s = l.step in
+        let count = if hi > lo then (hi - lo + s - 1) / s else 0 in
+        if count mod size <> 0 then
+          Error "trip count is not divisible by the strip size"
+        else begin
+          let jj = l.var ^ "$strip" in
+          let strip_loop =
+            Loop
+              {
+                var = l.var;
+                lo = Affine.var jj;
+                hi = Affine.add (Affine.var jj) (Affine.const (size * s));
+                step = s;
+                parallel = false;
+                body = l.body;
+              }
+          in
+          Ok
+            (Loop
+               {
+                 var = jj;
+                 lo = l.lo;
+                 hi = l.hi;
+                 step = s * size;
+                 parallel = l.parallel;
+                 body = [ strip_loop ];
+               })
+        end
+  end
+
+let strip_and_interchange ?(params = []) ?(outer_ranges = []) ~size (l : loop) =
+  match l.body with
+  | [ Loop _ ] -> (
+      match strip ~params ~size l with
+      | Error _ as e -> e
+      | Ok (Loop outer) -> (
+          (* outer = jj-loop containing [strip_loop [inner]]; interchange
+             the strip loop with the original inner loop *)
+          match outer.body with
+          | [ Loop strip_l ] -> (
+              match Interchange.apply ~params ~outer_ranges strip_l with
+              | Error _ as e -> e
+              | Ok swapped -> Ok (Loop { outer with body = [ swapped ] }))
+          | _ -> Error "internal: unexpected strip structure")
+      | Ok _ -> Error "internal: unexpected strip result")
+  | _ -> Error "not a perfect loop nest"

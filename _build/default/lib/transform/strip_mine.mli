@@ -1,0 +1,22 @@
+(** Strip-mine and interchange (paper Figure 2(c)): split a loop into
+    strips of a fixed size and interchange the strip loop inward, yielding
+    a traversal that clusters misses across [strip] outer iterations while
+    still revisiting cache lines soon enough to keep locality. Shown for
+    comparison with unroll-and-jam (which the paper prefers, §2.2). *)
+
+open Memclust_ir
+open Ast
+
+val strip : ?params:(string * int) list -> size:int -> loop -> (stmt, string) result
+(** Strip-mining only: [for j in lo..hi] becomes
+    [for jj in lo..hi step size*step { for j in jj..jj+size*step }].
+    Requires constant bounds with trip count divisible by [size]. *)
+
+val strip_and_interchange :
+  ?params:(string * int) list ->
+  ?outer_ranges:(string * Legality.var_range) list ->
+  size:int ->
+  loop ->
+  (stmt, string) result
+(** Strip-mine the outer loop of a perfect 2-nest and interchange the
+    strip loop inside the original inner loop. *)

@@ -1,0 +1,58 @@
+let bar ~width v =
+  let v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v in
+  let n = int_of_float (Float.round (v *. float_of_int width)) in
+  String.make n '#'
+
+let stacked_bar ~width ~segments =
+  let buf = Buffer.create width in
+  let used = ref 0 in
+  List.iter
+    (fun (c, frac) ->
+      let n = int_of_float (Float.round (frac *. float_of_int width)) in
+      let n = min n (width - !used) in
+      if n > 0 then begin
+        Buffer.add_string buf (String.make n c);
+        used := !used + n
+      end)
+    segments;
+  Buffer.contents buf
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '@'; '%' |]
+
+let series ?(height = 12) ?(width = 40) ~labels yss =
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si ys ->
+      let g = glyphs.(si mod Array.length glyphs) in
+      let n = Array.length ys in
+      if n > 0 then
+        for x = 0 to width - 1 do
+          let idx = if n = 1 then 0 else x * (n - 1) / (width - 1) in
+          let y = ys.(idx) in
+          let y = if y < 0.0 then 0.0 else if y > 1.0 then 1.0 else y in
+          let row = height - 1 - int_of_float (Float.round (y *. float_of_int (height - 1))) in
+          if grid.(row).(x) = ' ' then grid.(row).(x) <- g
+        done)
+    yss;
+  let buf = Buffer.create (height * (width + 8)) in
+  Array.iteri
+    (fun i row ->
+      let ylab =
+        if i = 0 then "1.0 |"
+        else if i = height - 1 then "0.0 |"
+        else "    |"
+      in
+      Buffer.add_string buf ylab;
+      Buffer.add_string buf (String.init width (fun j -> row.(j)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("    +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf "    legend: ";
+  List.iteri
+    (fun si l ->
+      if si > 0 then Buffer.add_string buf ", ";
+      Buffer.add_char buf glyphs.(si mod Array.length glyphs);
+      Buffer.add_char buf '=';
+      Buffer.add_string buf l)
+    labels;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Minimal ASCII plotting: stacked bars for Figure 3 and line series for
+    Figure 4 style output. *)
+
+val bar : width:int -> float -> string
+(** [bar ~width v] with [v] in [0,1] renders a proportional bar of '#'. *)
+
+val stacked_bar :
+  width:int -> segments:(char * float) list -> string
+(** [stacked_bar ~width ~segments] renders segments (label char, fraction)
+    scaled so that a total of 1.0 fills [width] characters. Fractions above
+    1.0 are clipped at the right edge. *)
+
+val series :
+  ?height:int -> ?width:int -> labels:string list -> float array list -> string
+(** [series ~labels yss] plots the given Y series (all in [0,1], X = index)
+    as a char grid, one glyph per series, with a legend line. *)

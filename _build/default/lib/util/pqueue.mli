@@ -1,0 +1,16 @@
+(** Mutable binary min-heap keyed by integer priority. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q prio v] inserts [v] with priority [prio]; smallest pops first.
+    Ties pop in insertion order. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic parts of the repository (workload data, synthetic pointer
+    chains, particle positions) draw from this generator so that every
+    experiment is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator, for giving substreams to sub-components. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of 0..n-1. *)

@@ -1,0 +1,43 @@
+type align = Left | Right
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else begin
+    let fill = String.make (width - len) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?aligns ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  in
+  let get l i = match List.nth_opt l i with Some v -> v | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (get r i)))
+          (String.length (get header i))
+          rows)
+  in
+  let align_of i =
+    match aligns with
+    | Some l -> (match List.nth_opt l i with Some a -> a | None -> Right)
+    | None -> if i = 0 then Left else Right
+  in
+  let line cells =
+    let parts = List.init ncols (fun i -> pad (align_of i) widths.(i) (get cells i)) in
+    String.concat "  " parts
+  in
+  let rule =
+    String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let body = List.map line rows in
+  String.concat "\n" (line header :: rule :: body)
+
+let print ?aligns ~header rows =
+  print_endline (render ?aligns ~header rows)
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_pct ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (v *. 100.0)

@@ -1,0 +1,17 @@
+(** ASCII table rendering for experiment reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in columns sized to the widest
+    cell, with a rule under the header. [aligns] defaults to left for the
+    first column and right for the rest. Short rows are padded with empty
+    cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct 0.21] is ["21.0%"] with default 1 decimal. *)

@@ -1,0 +1,1 @@
+lib/workloads/em3d.ml: Ast Builder Data Memclust_ir Memclust_util Printf Rng Workload

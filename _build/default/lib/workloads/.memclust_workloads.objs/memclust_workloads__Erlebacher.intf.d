@@ -1,0 +1,1 @@
+lib/workloads/erlebacher.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Ast Builder Data Float List Memclust_ir Memclust_util Printf Rng Stdlib Workload

@@ -1,0 +1,1 @@
+lib/workloads/latbench.ml: Array Ast Builder Data Memclust_ir Memclust_util Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/latbench.mli: Workload

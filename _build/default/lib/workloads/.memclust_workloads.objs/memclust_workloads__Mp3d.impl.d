@@ -1,0 +1,1 @@
+lib/workloads/mp3d.ml: Ast Builder Data Memclust_ir Memclust_util Printf Rng Workload

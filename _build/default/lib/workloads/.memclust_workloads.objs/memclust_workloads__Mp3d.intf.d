@@ -1,0 +1,1 @@
+lib/workloads/mp3d.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Em3d Erlebacher Fft Latbench List Lu Mp3d Mst Ocean String Workload

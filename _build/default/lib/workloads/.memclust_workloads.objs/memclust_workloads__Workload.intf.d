@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ast Data Memclust_ir

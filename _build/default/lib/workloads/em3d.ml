@@ -1,0 +1,72 @@
+open Memclust_ir
+open Memclust_util
+
+let procs = 16
+
+let make ?(nodes = 8192) ?(degree = 10) ?(remote_pct = 20) () =
+  let edges = nodes * degree in
+  let program =
+    let open Builder in
+    let gather ~out ~src ~idx ~coef =
+      (* parallel for n: out[n] -= sum_k coef[n*d+k] * src[idx[n*d+k]] *)
+      loop ~parallel:true "n" (cst 0) (cst nodes)
+        [
+          assign "s" (flt 0.0);
+          loop "k" (cst 0) (cst degree)
+            [
+              assign "s"
+                (sc "s"
+                + (arr coef ((degree *: ix "n") +: ix "k")
+                  * ld (iref src (arr idx ((degree *: ix "n") +: ix "k")))));
+            ];
+          store (aref out (ix "n")) (arr out (ix "n") - sc "s");
+        ]
+    in
+    program "em3d"
+      ~arrays:
+        [
+          array_decl "evalue" nodes;
+          array_decl "hvalue" nodes;
+          array_decl "eidx" edges;
+          array_decl "hidx" edges;
+          array_decl "ecoef" edges;
+          array_decl "hcoef" edges;
+        ]
+      [
+        gather ~out:"evalue" ~src:"hvalue" ~idx:"eidx" ~coef:"ecoef";
+        gather ~out:"hvalue" ~src:"evalue" ~idx:"hidx" ~coef:"hcoef";
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0xe3d_177 in
+    let chunk = (nodes + procs - 1) / procs in
+    let pick_neighbor n =
+      if Rng.int rng 100 < remote_pct then Rng.int rng nodes
+      else begin
+        (* within the node's own partition *)
+        let base = n / chunk * chunk in
+        min (nodes - 1) (base + Rng.int rng chunk)
+      end
+    in
+    for n = 0 to nodes - 1 do
+      Data.set data "evalue" n (Ast.Vfloat (Rng.float rng 1.0));
+      Data.set data "hvalue" n (Ast.Vfloat (Rng.float rng 1.0))
+    done;
+    for e = 0 to edges - 1 do
+      let n = e / degree in
+      Data.set data "eidx" e (Ast.Vint (pick_neighbor n));
+      Data.set data "hidx" e (Ast.Vint (pick_neighbor n));
+      Data.set data "ecoef" e (Ast.Vfloat (Rng.float rng 0.1));
+      Data.set data "hcoef" e (Ast.Vfloat (Rng.float rng 0.1))
+    done
+  in
+  {
+    Workload.name = "Em3d";
+    program;
+    init;
+    l2_bytes = Workload.big_l2;
+    mp_procs = procs;
+    description =
+      Printf.sprintf "%d nodes/side, degree %d, %d%% remote edges" nodes degree
+        remote_pct;
+  }

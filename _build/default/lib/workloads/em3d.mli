@@ -1,0 +1,9 @@
+(** Em3d (Split-C / paper §4.2): electromagnetic wave propagation on a
+    bipartite graph. Each E node gathers from [degree] H nodes through an
+    index array (and vice versa) — regular index/coefficient streams with
+    cache-line recurrences feeding irregular value loads through address
+    dependences. A fraction of the neighbor indices point outside the
+    node's own partition ("remote" edges). *)
+
+val make : ?nodes:int -> ?degree:int -> ?remote_pct:int -> unit -> Workload.t
+(** Defaults: 8192 nodes per side, degree 10, 20% remote edges. *)

@@ -1,0 +1,68 @@
+open Memclust_ir
+open Memclust_util
+
+let make ?(n = 40) () =
+  let n3 = n * n * n in
+  let nm1 = n - 1 in
+  let program =
+    let open Builder in
+    let at k j i = idx3 ~dim2:n ~dim3:n k j i in
+    program "erlebacher"
+      ~arrays:
+        [
+          array_decl "x" n3;
+          array_decl "lo" n3;
+          array_decl "up" n3;
+          array_decl "dg" n3;
+        ]
+      [
+        (* forward elimination along z *)
+        loop "k" (cst 1) (cst n)
+          [
+            loop ~parallel:true "j" (cst 0) (cst n)
+              [
+                loop "i" (cst 0) (cst n)
+                  [
+                    store
+                      (aref "x" (at (ix "k") (ix "j") (ix "i")))
+                      (arr "x" (at (ix "k") (ix "j") (ix "i"))
+                      - (arr "lo" (at (ix "k") (ix "j") (ix "i"))
+                        * arr "x" (at (ix "k" -: cst 1) (ix "j") (ix "i"))));
+                  ];
+              ];
+          ];
+        (* backward substitution: kk counts up, plane index is n-1-kk *)
+        loop "kk" (cst 1) (cst n)
+          [
+            loop ~parallel:true "j" (cst 0) (cst n)
+              [
+                loop "i" (cst 0) (cst n)
+                  [
+                    store
+                      (aref "x" (at (cst nm1 -: ix "kk") (ix "j") (ix "i")))
+                      ((arr "x" (at (cst nm1 -: ix "kk") (ix "j") (ix "i"))
+                       - (arr "up" (at (cst nm1 -: ix "kk") (ix "j") (ix "i"))
+                         * arr "x" (at (cst n -: ix "kk") (ix "j") (ix "i"))))
+                      * arr "dg" (at (cst nm1 -: ix "kk") (ix "j") (ix "i")));
+                  ];
+              ];
+          ];
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0xe71e_bac4 in
+    for i = 0 to n3 - 1 do
+      Data.set data "x" i (Ast.Vfloat (Rng.float rng 1.0));
+      Data.set data "lo" i (Ast.Vfloat (Rng.float rng 0.5));
+      Data.set data "up" i (Ast.Vfloat (Rng.float rng 0.5));
+      Data.set data "dg" i (Ast.Vfloat (0.5 +. Rng.float rng 0.5))
+    done
+  in
+  {
+    Workload.name = "Erlebacher";
+    program;
+    init;
+    l2_bytes = Workload.small_l2;
+    mp_procs = 8;
+    description = Printf.sprintf "%dx%dx%d cube, z-direction tridiagonal sweeps" n n n;
+  }

@@ -1,0 +1,8 @@
+(** Erlebacher (ICASE, paper §4.2): 3-D tridiagonal solver. The dominant
+    phase sweeps planes along Z with a forward-elimination and a
+    backward-substitution recurrence carried by the plane loop, fully
+    parallel over the other two dimensions — regular self-spatial streams
+    whose misses the base traversal serializes one line at a time. *)
+
+val make : ?n:int -> unit -> Workload.t
+(** Default: 32x32x32 cube. *)

@@ -1,0 +1,93 @@
+open Memclust_ir
+open Memclust_util
+
+let log2 v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let make ?(m = 64) () =
+  assert (m land (m - 1) = 0);
+  let n = m * m in
+  let stages = log2 m in
+  let program =
+    let open Builder in
+    (* one loop nest per butterfly stage of the per-row FFTs *)
+    let stage_nest ~re ~im s =
+      let half = 1 lsl s in
+      let span = Stdlib.( * ) half 2 in
+      let groups = Stdlib.( / ) m span in
+      let twoff = Stdlib.( - ) half 1 in
+      let i1 = (m *: ix "r") +: (span *: ix "g") +: ix "t" in
+      let i2 = i1 +: cst half in
+      let tw = cst twoff +: ix "t" in
+      loop "g" (cst 0) (cst groups)
+        [
+          loop "t" (cst 0) (cst half)
+            [
+              assign "wr" (arr "twr" tw);
+              assign "wi" (arr "twi" tw);
+              assign "a" (arr re i2);
+              assign "b" (arr im i2);
+              assign "tr" ((sc "a" * sc "wr") - (sc "b" * sc "wi"));
+              assign "ti" ((sc "a" * sc "wi") + (sc "b" * sc "wr"));
+              assign "c" (arr re i1);
+              assign "d" (arr im i1);
+              store (aref re i2) (sc "c" - sc "tr");
+              store (aref im i2) (sc "d" - sc "ti");
+              store (aref re i1) (sc "c" + sc "tr");
+              store (aref im i1) (sc "d" + sc "ti");
+            ];
+        ]
+    in
+    let fft_phase ~re ~im =
+      loop ~parallel:true "r" (cst 0) (cst m)
+        (List.init stages (stage_nest ~re ~im))
+    in
+    let transpose ~src_re ~src_im ~dst_re ~dst_im =
+      loop ~parallel:true "i" (cst 0) (cst m)
+        [
+          loop "j" (cst 0) (cst m)
+            [
+              store (aref dst_re ((m *: ix "j") +: ix "i"))
+                (arr src_re ((m *: ix "i") +: ix "j"));
+              store (aref dst_im ((m *: ix "j") +: ix "i"))
+                (arr src_im ((m *: ix "i") +: ix "j"));
+            ];
+        ]
+    in
+    program "fft"
+      ~arrays:
+        [
+          array_decl "re" n;
+          array_decl "im" n;
+          array_decl "tre" n;
+          array_decl "tim" n;
+          array_decl "twr" m;
+          array_decl "twi" m;
+        ]
+      [
+        fft_phase ~re:"re" ~im:"im";
+        transpose ~src_re:"re" ~src_im:"im" ~dst_re:"tre" ~dst_im:"tim";
+        fft_phase ~re:"tre" ~im:"tim";
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0xff7_0042 in
+    for i = 0 to n - 1 do
+      Data.set data "re" i (Ast.Vfloat (Rng.float rng 2.0 -. 1.0));
+      Data.set data "im" i (Ast.Vfloat (Rng.float rng 2.0 -. 1.0))
+    done;
+    for i = 0 to m - 1 do
+      let theta = -2.0 *. Float.pi *. float_of_int i /. float_of_int m in
+      Data.set data "twr" i (Ast.Vfloat (cos theta));
+      Data.set data "twi" i (Ast.Vfloat (sin theta))
+    done
+  in
+  {
+    Workload.name = "FFT";
+    program;
+    init;
+    l2_bytes = Workload.small_l2;
+    mp_procs = 16;
+    description = Printf.sprintf "%d points as %dx%d rows, radix-2 + transpose" n m m;
+  }

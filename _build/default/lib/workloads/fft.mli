@@ -1,0 +1,8 @@
+(** FFT (SPLASH-2, paper §4.2): radix-2 one-dimensional FFTs applied to the
+    rows of a √n × √n matrix, separated by transpose phases (the six-step
+    algorithm). Butterfly loops are regular self-spatial streams with
+    cache-line recurrences; the transpose reads rows and writes columns. *)
+
+val make : ?m:int -> unit -> Workload.t
+(** [m] is the matrix side (power of two); n = m² points. Default 64
+    (4096 points). *)

@@ -1,0 +1,48 @@
+open Memclust_ir
+open Memclust_util
+
+let make ?(chains = 64) ?(derefs = 512) () =
+  let nodes = chains * derefs in
+  let program =
+    let open Builder in
+    program "latbench"
+      ~arrays:[ array_decl "starts" chains ]
+      ~regions:[ region_decl ~node_size:64 "nodes" nodes ]
+      [
+        loop "j" (cst 0) (cst chains)
+          [
+            chase "p"
+              ~init:(ld (aref "starts" (ix "j")))
+              ~region:"nodes" ~next:0 ~count:(cst derefs) [];
+          ];
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0x1a7b_e4c8 in
+    (* a random global order of all nodes kills spatial locality both
+       within and across chains, as in lat_mem_rd with a large stride *)
+    let perm = Rng.permutation rng nodes in
+    for j = 0 to chains - 1 do
+      let base = j * derefs in
+      Data.set data "starts" j (Data.node_ptr data "nodes" perm.(base));
+      for k = 0 to derefs - 1 do
+        let cur = perm.(base + k) in
+        let next =
+          if k = derefs - 1 then Ast.Vptr 0
+          else Data.node_ptr data "nodes" perm.(base + k + 1)
+        in
+        Data.field_set data "nodes" ~ptr:(Data.node_addr data "nodes" cur) ~field:0
+          next
+      done
+    done
+  in
+  {
+    Workload.name = "Latbench";
+    program;
+    init;
+    l2_bytes = Workload.small_l2;
+    mp_procs = 1;
+    description =
+      Printf.sprintf "%d chains x %d pointer dereferences, no locality" chains
+        derefs;
+  }

@@ -1,0 +1,9 @@
+(** Latbench (paper §4.2): the lat_mem_rd pointer-chasing kernel of
+    lmbench, wrapped in an outer loop over independent pointer chains with
+    no locality within or across chains. Every dereference misses; the
+    base version serializes them (inner-loop address recurrence), and
+    unroll-and-jam across chains overlaps up to lp of them. *)
+
+val make : ?chains:int -> ?derefs:int -> unit -> Workload.t
+(** Defaults: 64 chains of 512 dereferences over 64-byte nodes (2 MB
+    footprint, far beyond the scaled cache). *)

@@ -1,0 +1,8 @@
+(** LU (SPLASH-2, paper §4.2): blocked dense LU factorization without
+    pivoting. Per pivot block: factor the diagonal block (sequential),
+    update the perimeter panels, then the interior blocks in parallel —
+    the interior daxpy nest is the clustering target (two self-spatial
+    leading streams per iteration, α = 1 cache-line recurrence). *)
+
+val make : ?n:int -> ?block:int -> unit -> Workload.t
+(** Defaults: 96×96 matrix, 16×16 blocks. [block] must divide [n]. *)

@@ -1,0 +1,91 @@
+open Memclust_ir
+open Memclust_util
+
+(* particle record layout: 8 fields of 8 bytes = one 64-byte line *)
+let fields = 8
+
+let f_x = 0
+and f_y = 1
+and f_z = 2
+and f_vx = 3
+and f_vy = 4
+and f_vz = 5
+
+let make ?(particles = 8192) ?(cells_per_side = 16) ?(steps = 2) () =
+  let cells = cells_per_side * cells_per_side * cells_per_side in
+  let cps2 = cells_per_side * cells_per_side in
+  let side = float_of_int cells_per_side in
+  let slots = particles * fields in
+  let program =
+    let open Builder in
+    let part f = aref "part" ((fields *: ix "i") +: cst f) in
+    let wrap v =
+      (* reflect into [0, side): |v mod 2*side - side| stays in range and
+         reverses direction at the walls *)
+      Ast.Unop (Ast.Abs, Ast.Binop (Ast.Sub, Ast.Binop (Ast.Mod, v, flt (2.0 *. side)), flt side))
+    in
+    program "mp3d"
+      ~arrays:[ array_decl "part" slots; array_decl "cellstate" cells ]
+      [
+        loop "step" (cst 0) (cst steps)
+          [
+            loop ~parallel:true "i" (cst 0) (cst particles)
+              [
+                assign "x" (ld (part f_x));
+                assign "y" (ld (part f_y));
+                assign "z" (ld (part f_z));
+                assign "vx" (ld (part f_vx));
+                assign "vy" (ld (part f_vy));
+                assign "vz" (ld (part f_vz));
+                assign "nx" (wrap (sc "x" + (sc "vx" * flt 0.05)));
+                assign "ny" (wrap (sc "y" + (sc "vy" * flt 0.05)));
+                assign "nz" (wrap (sc "z" + (sc "vz" * flt 0.05)));
+                assign "cell"
+                  ((Ast.Unop (Ast.Trunc, sc "nx") * num cps2)
+                  + (Ast.Unop (Ast.Trunc, sc "ny") * num cells_per_side)
+                  + Ast.Unop (Ast.Trunc, sc "nz"));
+                assign "occ" (ld (iref "cellstate" (sc "cell")));
+                store (iref "cellstate" (sc "cell")) (sc "occ" + flt 1.0);
+                (* collision-like perturbation, data-dependent *)
+                if_
+                  (flt 4.0 < sc "occ")
+                  [
+                    assign "vx" ((sc "vx" * flt 0.9) + (sc "vy" * flt 0.1));
+                    assign "vy" ((sc "vy" * flt 0.9) + (sc "vz" * flt 0.1));
+                    assign "vz" ((sc "vz" * flt 0.9) + (sc "vx" * flt 0.1));
+                  ]
+                  [];
+                store (part f_x) (sc "nx");
+                store (part f_y) (sc "ny");
+                store (part f_z) (sc "nz");
+                store (part f_vx) (sc "vx");
+                store (part f_vy) (sc "vy");
+                store (part f_vz) (sc "vz");
+              ];
+          ];
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0x3d_2001 in
+    for i = 0 to particles - 1 do
+      let set f v = Data.set data "part" ((i * fields) + f) (Ast.Vfloat v) in
+      set f_x (Rng.float rng side);
+      set f_y (Rng.float rng side);
+      set f_z (Rng.float rng side);
+      set f_vx (Rng.float rng 2.0 -. 1.0);
+      set f_vy (Rng.float rng 2.0 -. 1.0);
+      set f_vz (Rng.float rng 2.0 -. 1.0)
+    done;
+    for c = 0 to cells - 1 do
+      Data.set data "cellstate" c (Ast.Vfloat 0.0)
+    done
+  in
+  {
+    Workload.name = "Mp3d";
+    program;
+    init;
+    l2_bytes = Workload.small_l2;
+    mp_procs = 8;
+    description =
+      Printf.sprintf "%d padded particles, %d cells, %d steps" particles cells steps;
+  }

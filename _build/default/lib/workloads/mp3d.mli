@@ -1,0 +1,10 @@
+(** Mp3d (SPLASH, paper §4.2): rarefied-fluid-flow Monte Carlo. The
+    dominant move loop advances padded particle records (one cache line
+    each — no self-spatial reuse, matching the paper's false-sharing
+    padding) and scatters into a cell-state array through computed
+    (irregular) indices. No memory-parallelism recurrences: the loop body
+    is simply too large for one instruction window, so clustering comes
+    from inner-loop unrolling plus miss-packing scheduling (§3.3). *)
+
+val make : ?particles:int -> ?cells_per_side:int -> ?steps:int -> unit -> Workload.t
+(** Defaults: 8192 particles, 16³ cells, 2 time steps. *)

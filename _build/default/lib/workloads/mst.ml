@@ -1,0 +1,77 @@
+open Memclust_ir
+open Memclust_util
+
+(* node: f0 = next, f1 = key, f2 = data, f3 = pad (32 bytes) *)
+let f_next = 0
+let f_data = 2
+
+let make ?(vertices = 2048) ?(buckets = 512) ?(nodes = 16384) () =
+  let program =
+    let open Builder in
+    program "mst"
+      ~arrays:
+        [
+          array_decl "bucket_of" vertices;  (* precomputed hash of each vertex *)
+          array_decl "heads" buckets;
+          array_decl "dist" vertices;
+        ]
+      ~regions:[ region_decl ~node_size:32 "hnodes" nodes ]
+      [
+        (* outer loop explicitly identified as parallel (paper §4.2) to
+           permit the transformation despite the pointer references *)
+        loop ~parallel:true "v" (cst 0) (cst vertices)
+          [
+            assign "s" (flt 0.0);
+            chase "p"
+              ~init:(ld (iref "heads" (arr "bucket_of" (ix "v"))))
+              ~region:"hnodes" ~next:f_next
+              [ assign "s" (sc "s" + ld (fref "hnodes" (sc "p") f_data)) ];
+            store (aref "dist" (ix "v")) (sc "s");
+          ];
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0x3157_ab in
+    (* shuffled node placement: chain order is uncorrelated with memory
+       order, so every dereference is a fresh line *)
+    let perm = Rng.permutation rng nodes in
+    let cursor = ref 0 in
+    for b = 0 to buckets - 1 do
+      (* leave room so every bucket gets at least one node *)
+      let remaining = nodes - !cursor in
+      let max_extra =
+        max 0 (min (remaining - (buckets - b)) ((2 * nodes / buckets) - 1))
+      in
+      let len = 1 + if max_extra > 0 then Rng.int rng (max_extra + 1) else 0 in
+      let len = min len remaining in
+      let first = perm.(!cursor) in
+      Data.set data "heads" b (Data.node_ptr data "hnodes" first);
+      for k = 0 to len - 1 do
+        let cur = perm.(!cursor + k) in
+        let addr = Data.node_addr data "hnodes" cur in
+        let next =
+          if k = len - 1 then Ast.Vptr 0
+          else Data.node_ptr data "hnodes" perm.(!cursor + k + 1)
+        in
+        Data.field_set data "hnodes" ~ptr:addr ~field:f_next next;
+        Data.field_set data "hnodes" ~ptr:addr ~field:1 (Ast.Vint cur);
+        Data.field_set data "hnodes" ~ptr:addr ~field:f_data
+          (Ast.Vfloat (Rng.float rng 1.0))
+      done;
+      cursor := !cursor + len
+    done;
+    for v = 0 to vertices - 1 do
+      Data.set data "bucket_of" v (Ast.Vint (Rng.int rng buckets));
+      Data.set data "dist" v (Ast.Vfloat 0.0)
+    done
+  in
+  {
+    Workload.name = "MST";
+    program;
+    init;
+    l2_bytes = Workload.big_l2;
+    mp_procs = 1;
+    description =
+      Printf.sprintf "%d hash lookups, %d buckets, %d chained nodes" vertices
+        buckets nodes;
+  }

@@ -1,0 +1,10 @@
+(** MST (Olden, paper §4.2): the minimum-spanning-tree kernel is dominated
+    by hash-table lookups that walk linked bucket chains — pointer-chase
+    address recurrences of variable length. Unroll-and-jam fuses the
+    common prefix of several lookups (guarded, since chain lengths differ)
+    and finishes each leftover chain separately, exactly the paper's MST
+    treatment. Uniprocessor-only, as in the paper. *)
+
+val make : ?vertices:int -> ?buckets:int -> ?nodes:int -> unit -> Workload.t
+(** Defaults: 2048 lookups over a 512-bucket hash table with 16384 chained
+    nodes (32-byte nodes, shuffled placement). *)

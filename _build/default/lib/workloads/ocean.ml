@@ -1,0 +1,63 @@
+open Memclust_ir
+open Memclust_util
+
+let make ?(n = 130) ?(iters = 2) () =
+  (* rows are padded to a whole number of cache lines (as the SPLASH-2
+     sources do), so the five-point streams of neighboring rows cross line
+     boundaries at the same inner iteration and their misses can cluster *)
+  let pitch = (n + 7) / 8 * 8 in
+  let nn = pitch * n in
+  let nm1 = n - 1 in
+  let program =
+    let open Builder in
+    let at r c = (pitch *: r) +: c in
+    let sweep ~src ~dst =
+      loop ~parallel:true "i" (cst 1) (cst nm1)
+        [
+          loop "j" (cst 1) (cst nm1)
+            [
+              store
+                (aref dst (at (ix "i") (ix "j")))
+                ((flt 0.6 * arr src (at (ix "i") (ix "j")))
+                + (flt 0.1
+                  * (arr src (at (ix "i" -: cst 1) (ix "j"))
+                    + arr src (at (ix "i" +: cst 1) (ix "j"))
+                    + arr src (at (ix "i") (ix "j" -: cst 1))
+                    + arr src (at (ix "i") (ix "j" +: cst 1))))
+                - (flt 0.01 * arr "rhs" (at (ix "i") (ix "j"))));
+            ];
+        ]
+    in
+    program "ocean"
+      ~arrays:
+        [
+          array_decl "q" nn;
+          (* inter-array padding (as in the SPLASH-2 sources) keeps the
+             streams of the three grids in disjoint direct-mapped L1 sets
+             even when clustering widens each stream to several rows *)
+          array_decl "padA" 360;
+          array_decl "qt" nn;
+          array_decl "padB" 200;
+          array_decl "rhs" nn;
+        ]
+      [
+        loop "t" (cst 0) (cst iters)
+          [ sweep ~src:"q" ~dst:"qt"; sweep ~src:"qt" ~dst:"q" ];
+      ]
+  in
+  let init data =
+    let rng = Rng.create 0x0cea_11 in
+    for i = 0 to nn - 1 do
+      Data.set data "q" i (Ast.Vfloat (Rng.float rng 1.0));
+      Data.set data "qt" i (Ast.Vfloat 0.0);
+      Data.set data "rhs" i (Ast.Vfloat (Rng.float rng 1.0))
+    done
+  in
+  {
+    Workload.name = "Ocean";
+    program;
+    init;
+    l2_bytes = Workload.big_l2;
+    mp_procs = 8;
+    description = Printf.sprintf "%dx%d grids, %d red/black-style rounds" n n iters;
+  }

@@ -1,0 +1,9 @@
+(** Ocean (SPLASH-2, paper §4.2): the multigrid relaxation stencils that
+    dominate Ocean's time. Five-point Jacobi-style sweeps between two
+    grids: the base version already clusters somewhat (several leading
+    streams per iteration), so the transformations gain little — and on a
+    multiprocessor extra conflict misses can make clustering a slight
+    loss, as the paper observes. *)
+
+val make : ?n:int -> ?iters:int -> unit -> Workload.t
+(** Defaults: 130×130 grid (128×128 interior), 2 relaxation rounds. *)

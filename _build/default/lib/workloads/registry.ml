@@ -1,0 +1,18 @@
+let latbench () = Latbench.make ()
+
+let applications () =
+  [
+    Em3d.make ();
+    Erlebacher.make ();
+    Fft.make ();
+    Lu.make ();
+    Mp3d.make ();
+    Mst.make ();
+    Ocean.make ();
+  ]
+
+let by_name name =
+  let want = String.lowercase_ascii name in
+  List.find_opt
+    (fun w -> String.equal (String.lowercase_ascii w.Workload.name) want)
+    (latbench () :: applications ())

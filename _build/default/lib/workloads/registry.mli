@@ -1,0 +1,10 @@
+(** All evaluation workloads at their default (scaled) sizes, in the
+    paper's Table 2 order. *)
+
+val latbench : unit -> Workload.t
+
+val applications : unit -> Workload.t list
+(** Em3d, Erlebacher, FFT, LU, Mp3d, MST, Ocean. *)
+
+val by_name : string -> Workload.t option
+(** Case-insensitive lookup over Latbench and the applications. *)

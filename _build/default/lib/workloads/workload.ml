@@ -1,0 +1,13 @@
+open Memclust_ir
+
+type t = {
+  name : string;
+  program : Ast.program;
+  init : Data.t -> unit;
+  l2_bytes : int;
+  mp_procs : int;
+  description : string;
+}
+
+let small_l2 = 64 * 1024
+let big_l2 = 256 * 1024

@@ -1,0 +1,26 @@
+(** Common shape of an evaluation workload (paper Table 2).
+
+    Each workload provides its base (unclustered) program, a deterministic
+    data initializer, and the machine-scaling knobs the paper associates
+    with it: the scaled external-cache size (Woo et al. methodology) and
+    the multiprocessor configuration it runs with. *)
+
+open Memclust_ir
+
+type t = {
+  name : string;
+  program : Ast.program;  (** base version; clustering is applied by the driver *)
+  init : Data.t -> unit;  (** fills arrays/regions; same data every call *)
+  l2_bytes : int;  (** scaled external cache (Table 1: 64 KB or 1 MB class) *)
+  mp_procs : int;  (** processors for the multiprocessor experiment; 1 =
+                       uniprocessor-only (Latbench, MST; Mp3d on the
+                       Exemplar) *)
+  description : string;
+}
+
+val small_l2 : int
+(** 64 KB — Erlebacher, FFT, LU, Mp3d class. *)
+
+val big_l2 : int
+(** 256 KB — Em3d, MST, Ocean class (the paper's 1 MB, scaled down with
+    our smaller inputs). *)

@@ -1,0 +1,1 @@
+test/gen_program.ml: Affine Ast Data List Memclust_ir Memclust_util Printf Program QCheck Rng

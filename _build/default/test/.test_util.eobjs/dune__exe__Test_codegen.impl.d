@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ast Builder Data List Lower Memclust_codegen Memclust_ir Printf QCheck QCheck_alcotest Trace Tracestats

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Array Ast Builder Depgraph Fun List Locality Memclust_depgraph Memclust_ir Memclust_locality Option QCheck QCheck_alcotest Scc String

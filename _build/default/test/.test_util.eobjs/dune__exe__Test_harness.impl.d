@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ast Builder Config Data Experiment Figures List Machine Memclust_cluster Memclust_harness Memclust_ir Memclust_sim Memclust_workloads Registry Stdlib String Workload

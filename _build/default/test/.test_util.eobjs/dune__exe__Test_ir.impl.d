@@ -1,0 +1,1 @@
+test/test_ir.ml: Affine Alcotest Ast Builder Data Exec List Measure Memclust_ir Memclust_transform Pretty Program QCheck QCheck_alcotest String

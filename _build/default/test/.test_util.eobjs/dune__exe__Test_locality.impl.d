@@ -1,0 +1,1 @@
+test/test_locality.ml: Affine Alcotest Ast Builder Data List Locality Memclust_ir Memclust_locality Profile Program QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Breakdown Cache Config List Lower Machine Memclust_codegen Memclust_sim Memclust_util Memsys Stats Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Int64 List Memclust_util Plot Pqueue QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ast Data Em3d Erlebacher Exec Fft Latbench List Locality Lu Memclust_ir Memclust_locality Memclust_workloads Mp3d Mst Ocean Profile Program Registry Workload

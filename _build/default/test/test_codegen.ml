@@ -1,0 +1,212 @@
+open Memclust_ir
+open Memclust_codegen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------ Trace ------------------------------- *)
+
+let test_trace_roundtrip () =
+  let t = Trace.create () in
+  let i0 = Trace.push t ~kind:Trace.Load ~aux:4096 ~dep1:(-1) ~dep2:(-1) ~ref_:7 in
+  let i1 = Trace.push t ~kind:Trace.Fp_op ~aux:3 ~dep1:i0 ~dep2:(-1) ~ref_:0 in
+  Alcotest.(check int) "indices sequential" 0 i0;
+  Alcotest.(check int) "indices sequential" 1 i1;
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check bool) "kind" true (Trace.kind t 0 = Trace.Load);
+  Alcotest.(check int) "aux" 4096 (Trace.aux t 0);
+  Alcotest.(check int) "ref" 7 (Trace.ref_id t 0);
+  Alcotest.(check int) "dep1" 0 (Trace.dep1 t 1);
+  Alcotest.(check int) "dep2" (-1) (Trace.dep2 t 1)
+
+let prop_trace_growth =
+  QCheck.Test.make ~name:"trace grows past initial capacity" ~count:5
+    (QCheck.int_range 5000 20000) (fun n ->
+      let t = Trace.create () in
+      for i = 0 to n - 1 do
+        ignore (Trace.push t ~kind:Trace.Int_op ~aux:i ~dep1:(i - 1) ~dep2:(-1) ~ref_:0)
+      done;
+      let ok = ref (Trace.length t = n) in
+      for i = 0 to n - 1 do
+        if Trace.aux t i <> i || Trace.dep1 t i <> i - 1 then ok := false
+      done;
+      !ok)
+
+let test_count_kind () =
+  let t = Trace.create () in
+  ignore (Trace.push t ~kind:Trace.Load ~aux:0 ~dep1:(-1) ~dep2:(-1) ~ref_:0);
+  ignore (Trace.push t ~kind:Trace.Store ~aux:0 ~dep1:(-1) ~dep2:(-1) ~ref_:0);
+  ignore (Trace.push t ~kind:Trace.Load ~aux:0 ~dep1:(-1) ~dep2:(-1) ~ref_:0);
+  Alcotest.(check int) "loads" 2 (Trace.count_kind t Trace.Load);
+  Alcotest.(check int) "stores" 1 (Trace.count_kind t Trace.Store);
+  Alcotest.(check int) "branches" 0 (Trace.count_kind t Trace.Branch)
+
+(* ------------------------------ Lower ------------------------------- *)
+
+let stream_program n =
+  let open Builder in
+  program "stream"
+    ~arrays:[ array_decl "a" n; array_decl "o" n ]
+    [
+      loop "i" (cst 0) (cst n)
+        [ store (aref "o" (ix "i")) (arr "a" (ix "i") + flt 1.0) ];
+    ]
+
+let test_lower_counts () =
+  let n = 16 in
+  let p = stream_program n in
+  let d = Data.create p in
+  let lowered = Lower.build p d in
+  Alcotest.(check int) "one trace" 1 (Array.length lowered.Lower.traces);
+  let t = lowered.Lower.traces.(0) in
+  Alcotest.(check int) "one load per iteration" n (Trace.count_kind t Trace.Load);
+  Alcotest.(check int) "one store per iteration" n (Trace.count_kind t Trace.Store);
+  Alcotest.(check int) "one branch per iteration" n (Trace.count_kind t Trace.Branch);
+  Alcotest.(check int) "no barriers uniprocessor" 0 lowered.Lower.barriers
+
+let test_lower_addresses () =
+  let n = 8 in
+  let p = stream_program n in
+  let d = Data.create p in
+  let base_a = Data.array_base d "a" in
+  let lowered = Lower.build p d in
+  let t = lowered.Lower.traces.(0) in
+  let load_addrs = ref [] in
+  for i = 0 to Trace.length t - 1 do
+    if Trace.kind t i = Trace.Load then load_addrs := Trace.aux t i :: !load_addrs
+  done;
+  let expect = List.init n (fun i -> base_a + (8 * i)) in
+  Alcotest.(check (list int)) "load addresses in order" expect (List.rev !load_addrs)
+
+let test_lower_chase_serialized () =
+  (* each next load must depend on the previous one *)
+  let p =
+    let open Builder in
+    program "chain"
+      ~arrays:[ array_decl "start" 1 ]
+      ~regions:[ region_decl ~node_size:64 "n" 8 ]
+      [
+        chase "p" ~init:(ld (aref "start" (cst 0))) ~region:"n" ~next:0
+          ~count:(cst 6) [];
+      ]
+  in
+  let d = Data.create p in
+  Data.set d "start" 0 (Data.node_ptr d "n" 0);
+  for k = 0 to 7 do
+    Data.field_set d "n" ~ptr:(Data.node_addr d "n" k) ~field:0
+      (Data.node_ptr d "n" ((k + 1) mod 8))
+  done;
+  let lowered = Lower.build p d in
+  let t = lowered.Lower.traces.(0) in
+  let loads = ref [] in
+  for i = 0 to Trace.length t - 1 do
+    if Trace.kind t i = Trace.Load then loads := i :: !loads
+  done;
+  let loads = List.rev !loads in
+  Alcotest.(check int) "start + 6 next loads" 7 (List.length loads);
+  (* every next load depends on the previous load *)
+  List.iteri
+    (fun k idx ->
+      if k > 0 then begin
+        let prev = List.nth loads (k - 1) in
+        Alcotest.(check int) (Printf.sprintf "load %d dep" k) prev (Trace.dep1 t idx)
+      end)
+    loads
+
+let test_lower_multiproc () =
+  let n = 16 in
+  let p =
+    let open Builder in
+    program "par"
+      ~arrays:[ array_decl "a" n; array_decl "o" n ]
+      [
+        loop ~parallel:true "i" (cst 0) (cst n)
+          [ store (aref "o" (ix "i")) (arr "a" (ix "i") + flt 1.0) ];
+        Ast.Barrier;
+      ]
+  in
+  let d = Data.create p in
+  let lowered = Lower.build ~nprocs:4 p d in
+  Alcotest.(check int) "4 traces" 4 (Array.length lowered.Lower.traces);
+  (* work split evenly: each proc has n/4 loads *)
+  Array.iteri
+    (fun pi t ->
+      Alcotest.(check int)
+        (Printf.sprintf "proc %d loads" pi)
+        (n / 4)
+        (Trace.count_kind t Trace.Load))
+    lowered.Lower.traces;
+  (* two barriers (implicit after the parallel loop + explicit) on every proc *)
+  Array.iter
+    (fun t ->
+      Alcotest.(check int) "barriers per proc" 2 (Trace.count_kind t Trace.Barrier_op))
+    lowered.Lower.traces;
+  Alcotest.(check int) "barrier count" 2 lowered.Lower.barriers;
+  Alcotest.(check int) "total instructions add up"
+    (Lower.total_instructions lowered)
+    (Array.fold_left (fun acc t -> acc + Trace.length t) 0 lowered.Lower.traces)
+
+let test_lower_cross_proc_deps_dropped () =
+  (* a scalar defined before the parallel loop is used inside it: the
+     consumer must not carry a dependence into another processor's trace *)
+  let p =
+    let open Builder in
+    program "crossdep"
+      ~arrays:[ array_decl "a" 8; array_decl "o" 8 ]
+      [
+        assign "c" (arr "a" (cst 0));
+        loop ~parallel:true "i" (cst 0) (cst 8)
+          [ store (aref "o" (ix "i")) (sc "c" + arr "a" (ix "i")) ];
+      ]
+  in
+  let d = Data.create p in
+  let lowered = Lower.build ~nprocs:2 p d in
+  (* proc 1's trace: every dep index must point inside its own trace *)
+  let t = lowered.Lower.traces.(1) in
+  let ok = ref true in
+  for i = 0 to Trace.length t - 1 do
+    if Trace.dep1 t i >= i || Trace.dep2 t i >= i then ok := false
+  done;
+  Alcotest.(check bool) "deps are local and backward" true !ok
+
+
+let test_tracestats () =
+  let n = 8 in
+  let p = stream_program n in
+  let d = Data.create p in
+  let lowered = Lower.build p d in
+  let st = Tracestats.of_lowered lowered in
+  Alcotest.(check int) "loads" n st.Tracestats.loads;
+  Alcotest.(check int) "stores" n st.Tracestats.stores;
+  Alcotest.(check int) "branches" n st.Tracestats.branches;
+  Alcotest.(check int) "total adds up"
+    (Lower.total_instructions lowered)
+    st.Tracestats.total;
+  (* a and o are 64 B each: two lines *)
+  Alcotest.(check int) "distinct lines" 2 st.Tracestats.distinct_lines
+
+
+let prop_kind_roundtrip =
+  QCheck.Test.make ~name:"trace kind codes roundtrip" ~count:50
+    (QCheck.int_range 0 6) (fun c ->
+      Trace.kind_code (Trace.kind_of_code c) = c)
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          qtest prop_kind_roundtrip;
+          qtest prop_trace_growth;
+          Alcotest.test_case "count kind" `Quick test_count_kind;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "instruction counts" `Quick test_lower_counts;
+          Alcotest.test_case "addresses" `Quick test_lower_addresses;
+          Alcotest.test_case "chase serialization" `Quick test_lower_chase_serialized;
+          Alcotest.test_case "multiprocessor split" `Quick test_lower_multiproc;
+          Alcotest.test_case "cross-proc deps dropped" `Quick test_lower_cross_proc_deps_dropped;
+          Alcotest.test_case "tracestats" `Quick test_tracestats;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+open Memclust_ir
+open Memclust_locality
+open Memclust_depgraph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------- SCC -------------------------------- *)
+
+let test_scc_simple_cycle () =
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 0 ] | _ -> [] in
+  let sccs = Scc.compute ~nodes:[ 0; 1; 2; 3 ] ~succ in
+  let big = List.find (fun c -> List.length c > 1) sccs in
+  Alcotest.(check (list int)) "cycle" [ 0; 1; 2 ] (List.sort compare big);
+  Alcotest.(check int) "two components" 2 (List.length sccs)
+
+let test_scc_dag () =
+  let succ = function 0 -> [ 1; 2 ] | 1 -> [ 2 ] | _ -> [] in
+  let sccs = Scc.compute ~nodes:[ 0; 1; 2 ] ~succ in
+  Alcotest.(check int) "all singletons" 3 (List.length sccs)
+
+let test_scc_reverse_topological () =
+  let succ = function 0 -> [ 1 ] | _ -> [] in
+  match Scc.compute ~nodes:[ 0; 1 ] ~succ with
+  | [ [ 1 ]; [ 0 ] ] -> ()
+  | other ->
+      Alcotest.failf "unexpected order: %s"
+        (String.concat ";" (List.map (fun c -> String.concat "," (List.map string_of_int c)) other))
+
+(* qcheck: nodes share an SCC iff mutually reachable *)
+let prop_scc_mutual_reachability =
+  let gen =
+    QCheck.Gen.(
+      let n = 6 in
+      list_size (0 -- 12) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      |> map (fun edges -> edges))
+  in
+  QCheck.Test.make ~name:"SCC = mutual reachability" ~count:300 (QCheck.make gen)
+    (fun edges ->
+      let n = 6 in
+      let succ v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+      let reach = Array.make_matrix n n false in
+      let rec dfs src v =
+        if not reach.(src).(v) then begin
+          reach.(src).(v) <- true;
+          List.iter (dfs src) (succ v)
+        end
+      in
+      for v = 0 to n - 1 do List.iter (dfs v) (succ v) done;
+      let sccs = Scc.compute ~nodes:(List.init n Fun.id) ~succ in
+      let comp_of = Array.make n (-1) in
+      List.iteri (fun ci c -> List.iter (fun v -> comp_of.(v) <- ci) c) sccs;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then begin
+            let same = comp_of.(a) = comp_of.(b) in
+            let mutual = reach.(a).(b) && reach.(b).(a) in
+            if same <> mutual then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* --------------------------- Dependence graphs --------------------- *)
+
+let analyze_first_inner p =
+  let loc = Locality.analyze ~line_size:64 p in
+  let rec find stmt =
+    match stmt with
+    | Ast.Loop l ->
+        let nested = List.filter_map (function Ast.Loop l' -> Some (`L l') | Ast.Chase c -> Some (`C c) | _ -> None) l.Ast.body in
+        (match nested with
+        | [] -> Some (Depgraph.Counted l)
+        | `L l' :: _ -> find (Ast.Loop l')
+        | `C c :: _ -> Some (Depgraph.Chased c))
+    | _ -> None
+  in
+  let inner = List.find_map find p.Ast.body |> Option.get in
+  (loc, Depgraph.analyze loc inner)
+
+let test_self_spatial_recurrence () =
+  let p =
+    let open Builder in
+    program "fig2a"
+      ~arrays:[ array_decl "a" 4096; array_decl "s" 64 ]
+      [
+        loop "j" (cst 0) (cst 64)
+          [
+            loop "i" (cst 0) (cst 64)
+              [ store (aref "s" (ix "j")) (arr "s" (ix "j") + arr "a" (idx2 ~cols:64 (ix "j") (ix "i"))) ];
+          ];
+      ]
+  in
+  let _, g = analyze_first_inner p in
+  Alcotest.(check int) "one recurrence" 1 (List.length g.Depgraph.recurrences);
+  let r = List.hd g.Depgraph.recurrences in
+  Alcotest.(check bool) "cache-line class" true (r.Depgraph.rec_class = Depgraph.Cache_line);
+  Alcotest.(check int) "R" 1 r.Depgraph.r_count;
+  Alcotest.(check int) "iota" 1 r.Depgraph.iota;
+  Alcotest.(check (float 1e-9)) "alpha" 1.0 (Depgraph.alpha g);
+  Alcotest.(check bool) "no address recurrence" false g.Depgraph.has_address_recurrence
+
+let test_indirect_address_edge_no_cycle () =
+  (* ind = a[j,i]; sum[j] += b[ind] — address dep a->b, recurrence only on a *)
+  let p =
+    let open Builder in
+    program "sparse"
+      ~arrays:[ array_decl "a" 4096; array_decl "b" 4096; array_decl "sum" 64 ]
+      [
+        loop "j" (cst 0) (cst 64)
+          [
+            loop "i" (cst 0) (cst 64)
+              [
+                assign "ind" (arr "a" (idx2 ~cols:64 (ix "j") (ix "i")));
+                store (aref "sum" (ix "j")) (arr "sum" (ix "j") + ld (iref "b" (sc "ind")));
+              ];
+          ];
+      ]
+  in
+  let _, g = analyze_first_inner p in
+  Alcotest.(check bool) "has address edge" true
+    (List.exists (fun e -> e.Depgraph.cls = Depgraph.Address) g.Depgraph.edges);
+  Alcotest.(check bool) "but no address recurrence" false g.Depgraph.has_address_recurrence;
+  Alcotest.(check (float 1e-9)) "alpha from a's cache-line recurrence" 1.0
+    (Depgraph.alpha g)
+
+let test_pointer_chase_recurrence () =
+  let p =
+    let open Builder in
+    program "list"
+      ~arrays:[ array_decl "start" 8 ]
+      ~regions:[ region_decl ~node_size:32 "n" 64 ]
+      [
+        loop "v" (cst 0) (cst 8)
+          [
+            assign "s" (flt 0.0);
+            chase "p" ~init:(ld (aref "start" (ix "v"))) ~region:"n" ~next:0
+              [ assign "s" (sc "s" + ld (fref "n" (sc "p") 2)) ];
+          ];
+      ]
+  in
+  let _, g = analyze_first_inner p in
+  Alcotest.(check bool) "address recurrence" true g.Depgraph.has_address_recurrence;
+  let r = List.find (fun r -> r.Depgraph.rec_class = Depgraph.Address) g.Depgraph.recurrences in
+  Alcotest.(check int) "serializes the node line's leading ref" 1 r.Depgraph.r_count;
+  Alcotest.(check (float 1e-9)) "alpha 1" 1.0 (Depgraph.alpha g)
+
+let test_scalar_carried_address_recurrence () =
+  (* q = a[trunc q]: the loaded value feeds the next iteration's address *)
+  let p =
+    let open Builder in
+    program "feedback"
+      ~arrays:[ array_decl "a" 256; array_decl "o" 1 ]
+      [
+        assign "q" (num 0);
+        loop "i" (cst 0) (cst 16)
+          [ assign "q" (ld (iref "a" (sc "q"))) ];
+        store (aref "o" (cst 0)) (sc "q");
+      ]
+  in
+  let loc = Locality.analyze ~line_size:64 p in
+  let l = match p.Ast.body with [ _; Ast.Loop l; _ ] -> l | _ -> assert false in
+  let g = Depgraph.analyze loc (Depgraph.Counted l) in
+  Alcotest.(check bool) "address recurrence" true g.Depgraph.has_address_recurrence;
+  let e =
+    List.find (fun e -> e.Depgraph.cls = Depgraph.Address && e.Depgraph.src = e.Depgraph.dst)
+      g.Depgraph.edges
+  in
+  Alcotest.(check int) "distance 1" 1 e.Depgraph.distance
+
+let test_accumulator_not_address_recurrence () =
+  (* s = s + a[i]: scalar recurrence but no miss serialization *)
+  let p =
+    let open Builder in
+    program "acc"
+      ~arrays:[ array_decl "a" 256; array_decl "o" 1 ]
+      [
+        assign "s" (flt 0.0);
+        loop "i" (cst 0) (cst 256) [ assign "s" (sc "s" + arr "a" (ix "i")) ];
+        store (aref "o" (cst 0)) (sc "s");
+      ]
+  in
+  let loc = Locality.analyze ~line_size:64 p in
+  let l = match p.Ast.body with [ _; Ast.Loop l; _ ] -> l | _ -> assert false in
+  let g = Depgraph.analyze loc (Depgraph.Counted l) in
+  Alcotest.(check bool) "no address recurrence" false g.Depgraph.has_address_recurrence;
+  (* only the self-spatial cache-line recurrence of a[i] remains *)
+  Alcotest.(check int) "one recurrence" 1 (List.length g.Depgraph.recurrences)
+
+let test_two_recurrences_max_alpha () =
+  (* two self-spatial streams with different strides: alpha is the max *)
+  let p =
+    let open Builder in
+    program "two"
+      ~arrays:[ array_decl "a" 1024; array_decl "b" 1024; array_decl "o" 64 ]
+      [
+        loop "j" (cst 0) (cst 4)
+          [
+            loop "i" (cst 0) (cst 128)
+              [
+                store (aref "o" (ix "j"))
+                  (arr "o" (ix "j") + arr "a" (ix "i") + arr "b" (2 *: ix "i"));
+              ];
+          ];
+      ]
+  in
+  let _, g = analyze_first_inner p in
+  Alcotest.(check int) "two cache-line recurrences" 2
+    (List.length g.Depgraph.recurrences);
+  Alcotest.(check (float 1e-9)) "alpha max" 1.0 (Depgraph.alpha g)
+
+let test_no_recurrence_big_body () =
+  (* padded records: lm=1, no self edges, no recurrences *)
+  let p =
+    let open Builder in
+    program "pad"
+      ~arrays:[ array_decl "rec" 1024; array_decl "o" 1024 ]
+      [
+        loop "i" (cst 0) (cst 128)
+          [ store (aref "o" (8 *: ix "i")) (arr "rec" (8 *: ix "i")) ];
+      ]
+  in
+  let _, g = analyze_first_inner p in
+  Alcotest.(check int) "no recurrences" 0 (List.length g.Depgraph.recurrences);
+  Alcotest.(check (float 1e-9)) "alpha 0" 0.0 (Depgraph.alpha g)
+
+
+let test_to_dot () =
+  let p =
+    let open Builder in
+    program "dot"
+      ~arrays:[ array_decl "a" 4096; array_decl "s" 64 ]
+      [
+        loop "j" (cst 0) (cst 64)
+          [
+            loop "i" (cst 0) (cst 64)
+              [ store (aref "s" (ix "j")) (arr "s" (ix "j") + arr "a" (idx2 ~cols:64 (ix "j") (ix "i"))) ];
+          ];
+      ]
+  in
+  let loc, g = analyze_first_inner p in
+  let dot = Depgraph.to_dot loc g in
+  let contains sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "dotted cache-line edge" true (contains "style=dotted");
+  Alcotest.(check bool) "labels locality" true (contains "leading")
+
+let () =
+  Alcotest.run "depgraph"
+    [
+      ( "scc",
+        [
+          Alcotest.test_case "cycle" `Quick test_scc_simple_cycle;
+          Alcotest.test_case "dag" `Quick test_scc_dag;
+          Alcotest.test_case "reverse topological" `Quick test_scc_reverse_topological;
+          qtest prop_scc_mutual_reachability;
+        ] );
+      ( "recurrences",
+        [
+          Alcotest.test_case "self-spatial" `Quick test_self_spatial_recurrence;
+          Alcotest.test_case "indirect edge, no cycle" `Quick test_indirect_address_edge_no_cycle;
+          Alcotest.test_case "pointer chase" `Quick test_pointer_chase_recurrence;
+          Alcotest.test_case "scalar feedback" `Quick test_scalar_carried_address_recurrence;
+          Alcotest.test_case "accumulator benign" `Quick test_accumulator_not_address_recurrence;
+          Alcotest.test_case "max alpha" `Quick test_two_recurrences_max_alpha;
+          Alcotest.test_case "padded no recurrence" `Quick test_no_recurrence_big_body;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+    ]

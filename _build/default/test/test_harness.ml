@@ -1,0 +1,207 @@
+open Memclust_ir
+open Memclust_sim
+open Memclust_workloads
+open Memclust_harness
+
+(* a tiny custom workload so harness tests stay fast *)
+let tiny () =
+  let n = 32 in
+  let program =
+    let open Builder in
+    program "tiny"
+      ~arrays:[ array_decl "a" (Stdlib.( * ) n n); array_decl "s" n ]
+      [
+        loop ~parallel:true "j" (cst 0) (cst n)
+          [
+            loop "i" (cst 0) (cst n)
+              [
+                store (aref "s" (ix "j"))
+                  (arr "s" (ix "j") + arr "a" (idx2 ~cols:n (ix "j") (ix "i")));
+              ];
+          ];
+      ]
+  in
+  let init d =
+    for i = 0 to (n * n) - 1 do
+      Data.set d "a" i (Ast.Vfloat (float_of_int i))
+    done
+  in
+  {
+    Workload.name = "tiny";
+    program;
+    init;
+    l2_bytes = 16 * 1024;
+    mp_procs = 4;
+    description = "test workload";
+  }
+
+let test_machine_of_config () =
+  let m = Experiment.machine_of_config Config.base in
+  Alcotest.(check int) "window" 64 m.Memclust_cluster.Machine_model.window;
+  Alcotest.(check int) "mshrs" 10 m.Memclust_cluster.Machine_model.mshrs;
+  let m = Experiment.machine_of_config Config.exemplar_like in
+  Alcotest.(check int) "exemplar line" 32 m.Memclust_cluster.Machine_model.line_size
+
+let test_execute_base_vs_clustered () =
+  let w = tiny () in
+  let spec version =
+    { Experiment.workload = w; config = Config.base; nprocs = 1; version }
+  in
+  let b = Experiment.execute (spec Experiment.Base) in
+  let c = Experiment.execute (spec Experiment.Clustered) in
+  Alcotest.(check bool) "base has no cluster report" true
+    (b.Experiment.cluster_report = None);
+  Alcotest.(check bool) "clustered has report" true
+    (c.Experiment.cluster_report <> None);
+  Alcotest.(check bool) "clustering helps the miss-bound kernel" true
+    (Experiment.exec_cycles c < Experiment.exec_cycles b);
+  Alcotest.(check bool) "data stall reduced" true
+    (Experiment.data_stall c < Experiment.data_stall b)
+
+let test_execute_multiproc () =
+  let w = tiny () in
+  let spec nprocs =
+    {
+      Experiment.workload = w;
+      config = Config.base;
+      nprocs;
+      version = Experiment.Base;
+    }
+  in
+  let up = Experiment.execute (spec 1) in
+  let mp = Experiment.execute (spec 4) in
+  Alcotest.(check bool) "parallel run is faster" true
+    (Experiment.exec_cycles mp < Experiment.exec_cycles up)
+
+let test_cached_is_stable () =
+  let w = tiny () in
+  let spec =
+    {
+      Experiment.workload = w;
+      config = Config.base;
+      nprocs = 1;
+      version = Experiment.Base;
+    }
+  in
+  let a = Experiment.execute_cached spec in
+  let b = Experiment.execute_cached spec in
+  Alcotest.(check bool) "same outcome object" true (a == b)
+
+let test_l2_scaling_applied () =
+  let w = tiny () in
+  (* scaled config: the workload's small L2 makes the kernel miss more than
+     with the default 64KB *)
+  let o =
+    Experiment.execute
+      {
+        Experiment.workload = w;
+        config = Config.base;
+        nprocs = 1;
+        version = Experiment.Base;
+      }
+  in
+  Alcotest.(check bool) "misses observed" true (o.Experiment.result.Machine.l2_misses > 0)
+
+let test_figures_registry () =
+  List.iter
+    (fun id ->
+      match Figures.by_id id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing experiment %s" id)
+    Figures.all_ids;
+  Alcotest.(check bool) "unknown id" true (Figures.by_id "nope" = None);
+  Alcotest.(check int) "all nine paper artifacts covered" 9
+    (List.length Figures.paper_ids);
+  Alcotest.(check bool) "extensions registered" true
+    (List.length Figures.extension_ids >= 2)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table1_contents () =
+  let s = Figures.table1 () in
+  Alcotest.(check bool) "names base" true (contains ~sub:"base-500MHz" s);
+  Alcotest.(check bool) "shows window" true (contains ~sub:"window 64" s);
+  Alcotest.(check bool) "shows exemplar" true (contains ~sub:"exemplar-like" s)
+
+let test_table2_contents () =
+  let s = Figures.table2 () in
+  List.iter
+    (fun (w : Workload.t) ->
+      Alcotest.(check bool) (w.Workload.name ^ " listed") true
+        (contains ~sub:w.Workload.name s))
+    (Registry.latbench () :: Registry.applications ())
+
+
+let test_prefetched_versions () =
+  let w = tiny () in
+  let spec version =
+    { Experiment.workload = w; config = Config.base; nprocs = 1; version }
+  in
+  let pf = Experiment.execute (spec Experiment.Prefetched) in
+  Alcotest.(check bool) "hints were issued" true
+    (pf.Experiment.result.Machine.prefetches > 0);
+  Alcotest.(check bool) "no cluster report" true
+    (pf.Experiment.cluster_report = None);
+  let both = Experiment.execute (spec Experiment.Clustered_prefetched) in
+  Alcotest.(check bool) "clustered and hinted" true
+    (both.Experiment.result.Machine.prefetches > 0
+    && both.Experiment.cluster_report <> None)
+
+let test_transform_respects_max_procs () =
+  (* workload with a 16-iteration distributed loop and mp_procs = 8:
+     the driver must keep at least 8 chunks (factor <= 2) *)
+  let n = 16 in
+  let cols = 512 in
+  let program =
+    let open Builder in
+    program "narrow"
+      ~arrays:[ array_decl "a" (Stdlib.( * ) n cols); array_decl "s" n ]
+      [
+        loop ~parallel:true "j" (cst 0) (cst n)
+          [
+            loop "i" (cst 0) (cst cols)
+              [
+                store (aref "s" (ix "j"))
+                  (arr "s" (ix "j") + arr "a" (idx2 ~cols (ix "j") (ix "i")));
+              ];
+          ];
+      ]
+  in
+  let w =
+    { Workload.name = "narrow"; program; init = (fun _ -> ()); l2_bytes = 16 * 1024;
+      mp_procs = 8; description = "" }
+  in
+  let _, report = Experiment.transform Config.base w in
+  List.iter
+    (fun nest ->
+      List.iter
+        (function
+          | Memclust_cluster.Driver.Unroll_jam { factor; _ } ->
+              Alcotest.(check bool) "factor preserves 8 chunks" true (factor <= 2)
+          | _ -> ())
+        nest.Memclust_cluster.Driver.actions)
+    report.Memclust_cluster.Driver.nests
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "machine of config" `Quick test_machine_of_config;
+          Alcotest.test_case "base vs clustered" `Quick test_execute_base_vs_clustered;
+          Alcotest.test_case "multiprocessor" `Quick test_execute_multiproc;
+          Alcotest.test_case "memoization" `Quick test_cached_is_stable;
+          Alcotest.test_case "l2 scaling" `Quick test_l2_scaling_applied;
+          Alcotest.test_case "prefetched versions" `Quick test_prefetched_versions;
+          Alcotest.test_case "max_procs cap" `Quick test_transform_respects_max_procs;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "registry" `Quick test_figures_registry;
+          Alcotest.test_case "table1" `Quick test_table1_contents;
+          Alcotest.test_case "table2" `Quick test_table2_contents;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+open Memclust_codegen
+open Memclust_sim
+
+(* ------------------------------ Cache ------------------------------- *)
+
+let test_cache_hit_after_fill () =
+  let c = Cache.create ~bytes:1024 ~assoc:2 ~line:64 in
+  Alcotest.(check bool) "cold miss" false (Cache.lookup c ~version:0 ~addr:128);
+  Cache.fill c ~version:0 ~addr:128;
+  Alcotest.(check bool) "hit" true (Cache.lookup c ~version:0 ~addr:128);
+  Alcotest.(check bool) "same line hits" true (Cache.lookup c ~version:0 ~addr:190);
+  Alcotest.(check bool) "next line misses" false (Cache.lookup c ~version:0 ~addr:192)
+
+let test_cache_version_invalidation () =
+  let c = Cache.create ~bytes:1024 ~assoc:2 ~line:64 in
+  Cache.fill c ~version:1 ~addr:0;
+  Alcotest.(check bool) "hit at v1" true (Cache.lookup c ~version:1 ~addr:0);
+  Alcotest.(check bool) "stale at v2" false (Cache.lookup c ~version:2 ~addr:0);
+  Cache.fill c ~version:2 ~addr:0;
+  Alcotest.(check bool) "refreshed" true (Cache.lookup c ~version:2 ~addr:0)
+
+let test_cache_lru () =
+  (* 2-way set: fill three lines mapping to the same set; the LRU evicts *)
+  let c = Cache.create ~bytes:256 ~assoc:2 ~line:64 in
+  (* 2 sets; lines 0,2,4 map to set 0 *)
+  Cache.fill c ~version:0 ~addr:0;
+  Cache.fill c ~version:0 ~addr:128;
+  ignore (Cache.lookup c ~version:0 ~addr:0);
+  (* line 0 is MRU *)
+  Cache.fill c ~version:0 ~addr:256;
+  Alcotest.(check bool) "MRU kept" true (Cache.lookup c ~version:0 ~addr:0);
+  Alcotest.(check bool) "LRU evicted" false (Cache.lookup c ~version:0 ~addr:128);
+  Alcotest.(check bool) "new line present" true (Cache.lookup c ~version:0 ~addr:256)
+
+let test_cache_direct_mapped_conflict () =
+  let c = Cache.create ~bytes:128 ~assoc:1 ~line:64 in
+  Cache.fill c ~version:0 ~addr:0;
+  Cache.fill c ~version:0 ~addr:128 (* same set *);
+  Alcotest.(check bool) "conflict evicts" false (Cache.lookup c ~version:0 ~addr:0)
+
+(* ------------------------------ Memsys ------------------------------ *)
+
+let test_memsys_uncontended () =
+  let m = Memsys.create Config.base ~nprocs:2 in
+  let done_ = Memsys.request m ~proc:0 ~home:0 ~kind:Memsys.Local ~line:1 ~now:100 in
+  Alcotest.(check int) "local = mem_lat" (100 + Config.base.Config.mem_lat) done_;
+  let m = Memsys.create Config.base ~nprocs:2 in
+  let done_ = Memsys.request m ~proc:0 ~home:1 ~kind:Memsys.Remote ~line:1 ~now:100 in
+  Alcotest.(check int) "remote = minimum + 1 hop"
+    (100 + Config.base.Config.remote_lat + Config.base.Config.hop_cycles)
+    done_;
+  let m = Memsys.create Config.base ~nprocs:2 in
+  let done_ =
+    Memsys.request m ~proc:0 ~home:1 ~kind:Memsys.Dirty_remote ~line:1 ~now:100
+  in
+  Alcotest.(check int) "cache-to-cache = minimum + 1 hop"
+    (100 + Config.base.Config.c2c_lat + Config.base.Config.hop_cycles)
+    done_
+
+let test_memsys_bank_contention () =
+  let m = Memsys.create Config.base ~nprocs:1 in
+  (* two requests to the same line = same bank: the second waits *)
+  let d1 = Memsys.request m ~proc:0 ~home:0 ~kind:Memsys.Local ~line:5 ~now:0 in
+  let d2 = Memsys.request m ~proc:0 ~home:0 ~kind:Memsys.Local ~line:5 ~now:0 in
+  Alcotest.(check bool) "second delayed" true (d2 > d1);
+  Alcotest.(check bool) "delay at least bank busy" true
+    (d2 - d1 >= Config.base.Config.bank_busy)
+
+let test_memsys_banks_parallel () =
+  let m = Memsys.create Config.base ~nprocs:1 in
+  (* requests to different banks overlap except for bus occupancy *)
+  let lines = List.init 4 (fun i -> i) in
+  let dones =
+    List.map (fun l -> Memsys.request m ~proc:0 ~home:0 ~kind:Memsys.Local ~line:l ~now:0) lines
+  in
+  let spread = List.fold_left max 0 dones - List.fold_left min max_int dones in
+  Alcotest.(check bool) "different banks mostly overlap" true
+    (spread < Config.base.Config.bank_busy)
+
+
+let test_mesh_hops () =
+  (* 16 nodes on a 4x4 mesh *)
+  Alcotest.(check int) "self" 0 (Memsys.mesh_hops ~nprocs:16 5 5);
+  Alcotest.(check int) "adjacent" 1 (Memsys.mesh_hops ~nprocs:16 0 1);
+  Alcotest.(check int) "row hop" 1 (Memsys.mesh_hops ~nprocs:16 0 4);
+  Alcotest.(check int) "corner to corner" 6 (Memsys.mesh_hops ~nprocs:16 0 15)
+
+let test_remote_scales_with_distance () =
+  let m = Memsys.create Config.base ~nprocs:16 in
+  let near = Memsys.request m ~proc:0 ~home:1 ~kind:Memsys.Remote ~line:1 ~now:0 in
+  let m = Memsys.create Config.base ~nprocs:16 in
+  let far = Memsys.request m ~proc:0 ~home:15 ~kind:Memsys.Remote ~line:1 ~now:0 in
+  Alcotest.(check int) "five extra hops" (5 * Config.base.Config.hop_cycles)
+    (far - near)
+
+let test_memsys_utilization () =
+  let m = Memsys.create Config.base ~nprocs:1 in
+  ignore (Memsys.request m ~proc:0 ~home:0 ~kind:Memsys.Local ~line:0 ~now:0);
+  let occ = Config.base.Config.bus_req_occ + Config.base.Config.bus_data_occ in
+  Alcotest.(check int) "bus busy accounted" occ (Memsys.bus_busy m);
+  Alcotest.(check int) "bank busy accounted" Config.base.Config.bank_busy
+    (Memsys.bank_busy m)
+
+(* ---------------------------- Breakdown ----------------------------- *)
+
+let test_breakdown () =
+  let b = Breakdown.create () in
+  b.Breakdown.busy <- 10.0;
+  b.Breakdown.data_stall <- 30.0;
+  b.Breakdown.cpu_stall <- 5.0;
+  Alcotest.(check (float 1e-9)) "total" 45.0 (Breakdown.total b);
+  Alcotest.(check (float 1e-9)) "cpu" 15.0 (Breakdown.cpu b);
+  let c = Breakdown.scale b 2.0 in
+  Alcotest.(check (float 1e-9)) "scaled" 90.0 (Breakdown.total c);
+  Breakdown.add b c;
+  Alcotest.(check (float 1e-9)) "added" 135.0 (Breakdown.total b)
+
+(* --------------------------- Core/Machine --------------------------- *)
+
+(* hand-built traces *)
+let mk_trace instrs =
+  let t = Trace.create () in
+  List.iter
+    (fun (kind, aux, dep1, dep2) ->
+      ignore (Trace.push t ~kind ~aux ~dep1 ~dep2 ~ref_:0))
+    instrs;
+  t
+
+let run_single instrs =
+  let lowered = { Lower.traces = [| mk_trace instrs |]; barriers = 0 } in
+  Machine.run Config.base ~home:(fun _ -> 0) lowered
+
+let test_single_miss_latency () =
+  let r = run_single [ (Trace.Load, 0x40000, -1, -1) ] in
+  Alcotest.(check bool) "about mem_lat cycles" true
+    (r.Machine.cycles >= Config.base.Config.mem_lat
+    && r.Machine.cycles <= Config.base.Config.mem_lat + 20);
+  Alcotest.(check int) "one L2 miss" 1 r.Machine.l2_misses
+
+let test_independent_misses_overlap () =
+  (* 8 independent misses to distinct lines *)
+  let loads = List.init 8 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) in
+  let r = run_single loads in
+  Alcotest.(check bool) "overlapped" true
+    (r.Machine.cycles < 2 * Config.base.Config.mem_lat);
+  Alcotest.(check int) "8 misses" 8 r.Machine.l2_misses
+
+let test_dependent_misses_serialize () =
+  (* each load depends on the previous *)
+  let loads =
+    List.init 4 (fun i -> (Trace.Load, 0x40000 + (i * 64), i - 1, -1))
+  in
+  let r = run_single loads in
+  Alcotest.(check bool) "serialized" true
+    (r.Machine.cycles >= 4 * Config.base.Config.mem_lat)
+
+let test_same_line_coalesce () =
+  let loads = List.init 8 (fun i -> (Trace.Load, 0x40000 + (i * 8), -1, -1)) in
+  let r = run_single loads in
+  Alcotest.(check int) "one miss for one line" 1 r.Machine.l2_misses
+
+let test_store_retires_early () =
+  (* store miss followed by lots of cheap work: write buffering hides it *)
+  let instrs =
+    (Trace.Store, 0x40000, -1, -1)
+    :: List.init 40 (fun _ -> (Trace.Int_op, 1, -1, -1))
+  in
+  let r = run_single instrs in
+  (* all instructions retire long before the write completes; the clock
+     only runs on because the simulation waits for memory to quiesce *)
+  Alcotest.(check bool) "ends soon after the write completes" true
+    (r.Machine.cycles < Config.base.Config.mem_lat + 30);
+  (* at most the 1-2 front-end cycles before the store enters the write
+     buffer; the 85-cycle miss itself never stalls retirement *)
+  Alcotest.(check bool) "write miss latency never stalls retire" true
+    (r.Machine.breakdown.Breakdown.data_stall < 3.0)
+
+let test_mshr_limit () =
+  (* 20 independent misses with only 10 MSHRs: at least two memory rounds *)
+  let loads = List.init 20 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) in
+  let r = run_single loads in
+  Alcotest.(check bool) "two waves" true
+    (r.Machine.cycles >= 2 * Config.base.Config.bank_busy + Config.base.Config.mem_lat);
+  Alcotest.(check bool) "mshr pressure observed" true (r.Machine.mshr_full_events > 0)
+
+let test_window_limits_overlap () =
+  (* two misses separated by more than a window of int ops cannot overlap *)
+  let instrs =
+    ((Trace.Load, 0x40000, -1, -1)
+     :: List.init 100 (fun _ -> (Trace.Int_op, 1, -1, -1)))
+    @ [ (Trace.Load, 0x50000, -1, -1) ]
+  in
+  let r = run_single instrs in
+  Alcotest.(check bool) "misses not overlapped" true
+    (r.Machine.cycles >= 2 * Config.base.Config.mem_lat)
+
+let test_ipc_bounded_by_retire_width () =
+  let instrs = List.init 4000 (fun _ -> (Trace.Int_op, 1, -1, -1)) in
+  let r = run_single instrs in
+  let ipc = float_of_int r.Machine.instructions /. float_of_int r.Machine.cycles in
+  Alcotest.(check bool) "IPC <= 4" true (ipc <= 4.0);
+  (* only 2 ALUs: IPC can't exceed 2 for pure int streams *)
+  Alcotest.(check bool) "IPC <= ALUs" true (ipc <= 2.01)
+
+let test_barrier_sync () =
+  (* proc 0 finishes fast then waits at the barrier for proc 1's miss *)
+  let t0 =
+    mk_trace [ (Trace.Int_op, 1, -1, -1); (Trace.Barrier_op, 1, -1, -1) ]
+  in
+  let t1 =
+    mk_trace
+      [
+        (Trace.Load, 0x40000, -1, -1);
+        (Trace.Load, 0x50000, 0, -1);
+        (Trace.Barrier_op, 1, -1, -1);
+      ]
+  in
+  let lowered = { Lower.traces = [| t0; t1 |]; barriers = 1 } in
+  let r = Machine.run Config.base ~home:(fun _ -> 0) lowered in
+  Alcotest.(check bool) "proc0 spent time in sync" true
+    (r.Machine.per_proc.(0).Breakdown.sync_stall > 50.0);
+  Alcotest.(check bool) "completed" true
+    (r.Machine.cycles >= 2 * Config.base.Config.mem_lat)
+
+let test_mshr_histograms () =
+  let loads = List.init 8 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) in
+  let r = run_single loads in
+  let open Memclust_util in
+  Alcotest.(check bool) "some time at >=4 outstanding reads" true
+    (Stats.Histogram.fraction_at_least r.Machine.read_mshr_hist 4 > 0.0);
+  Alcotest.(check bool) "monotone" true
+    (Stats.Histogram.fraction_at_least r.Machine.read_mshr_hist 8
+    <= Stats.Histogram.fraction_at_least r.Machine.read_mshr_hist 1)
+
+let test_deadlock_guard () =
+  let loads = List.init 4 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) in
+  let lowered = { Lower.traces = [| mk_trace loads |]; barriers = 0 } in
+  Alcotest.(check bool) "raises on tiny budget" true
+    (try
+       ignore (Machine.run ~max_cycles:3 Config.base ~home:(fun _ -> 0) lowered);
+       false
+     with Failure _ -> true)
+
+let test_config_presets () =
+  Alcotest.(check int) "ghz doubles memory" (2 * Config.base.Config.mem_lat)
+    (Config.ghz Config.base).Config.mem_lat;
+  Alcotest.(check int) "ghz keeps width" Config.base.Config.issue_width
+    (Config.ghz Config.base).Config.issue_width;
+  (match Config.exemplar_like.Config.l2_bytes with
+  | None -> ()
+  | Some _ -> Alcotest.fail "exemplar is single-level");
+  Alcotest.(check int) "with_l2"
+    (256 * 1024)
+    (match (Config.with_l2 (256 * 1024) Config.base).Config.l2_bytes with
+    | Some b -> b
+    | None -> -1);
+  Alcotest.(check (float 1e-9)) "ns per cycle at 500MHz" 2.0
+    (Machine.ns_per_cycle Config.base)
+
+
+(* ----------------------------- Prefetch ----------------------------- *)
+
+let test_prefetch_hides_latency () =
+  (* prefetch, then a 100-deep dependence chain, then a load of the
+     prefetched line that depends on the chain: by the time the load can
+     issue, the line has arrived *)
+  let chain = List.init 100 (fun i -> (Trace.Int_op, 1, i, -1)) in
+  let instrs =
+    ((Trace.Prefetch_op, 0x40000, -1, -1) :: chain)
+    @ [ (Trace.Load, 0x40000, 100, -1) ]
+  in
+  let r = run_single instrs in
+  Alcotest.(check int) "one prefetch" 1 r.Machine.prefetches;
+  Alcotest.(check int) "fetched by the prefetch" 1 r.Machine.prefetch_misses;
+  Alcotest.(check int) "demand load did not miss" 0 r.Machine.read_misses;
+  Alcotest.(check bool) "latency mostly hidden" true
+    (r.Machine.breakdown.Breakdown.data_stall
+     < float_of_int Config.base.Config.mem_lat /. 2.0)
+
+let test_prefetch_late () =
+  (* demand load immediately after the prefetch: late-prefetch counted *)
+  let instrs = [ (Trace.Prefetch_op, 0x40000, -1, -1); (Trace.Load, 0x40000, -1, -1) ] in
+  let r = run_single instrs in
+  Alcotest.(check int) "late prefetch counted" 1 r.Machine.late_prefetches;
+  Alcotest.(check int) "no separate demand miss" 0 r.Machine.read_misses
+
+let test_prefetch_never_stalls_retire () =
+  let instrs = List.init 12 (fun i -> (Trace.Prefetch_op, 0x40000 + (i * 64), -1, -1)) in
+  let r = run_single instrs in
+  (* 12 hints on 10 MSHRs: the extra ones are dropped, nothing stalls *)
+  Alcotest.(check bool) "no data stall from hints" true
+    (r.Machine.breakdown.Breakdown.data_stall < 3.0);
+  Alcotest.(check bool) "drops under pressure" true (r.Machine.prefetch_misses <= 10)
+
+
+let test_simulation_deterministic () =
+  let loads = List.init 16 (fun i -> (Trace.Load, 0x40000 + (i * 48), (if i mod 3 = 0 then -1 else i - 1), -1)) in
+  let r1 = run_single loads in
+  let r2 = run_single loads in
+  Alcotest.(check int) "same cycles" r1.Machine.cycles r2.Machine.cycles;
+  Alcotest.(check int) "same misses" r1.Machine.l2_misses r2.Machine.l2_misses
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "version invalidation" `Quick test_cache_version_invalidation;
+          Alcotest.test_case "lru" `Quick test_cache_lru;
+          Alcotest.test_case "direct-mapped conflict" `Quick test_cache_direct_mapped_conflict;
+        ] );
+      ( "memsys",
+        [
+          Alcotest.test_case "uncontended latencies" `Quick test_memsys_uncontended;
+          Alcotest.test_case "bank contention" `Quick test_memsys_bank_contention;
+          Alcotest.test_case "banks parallel" `Quick test_memsys_banks_parallel;
+          Alcotest.test_case "utilization accounting" `Quick test_memsys_utilization;
+          Alcotest.test_case "mesh hops" `Quick test_mesh_hops;
+          Alcotest.test_case "remote scales with distance" `Quick test_remote_scales_with_distance;
+        ] );
+      ("breakdown", [ Alcotest.test_case "arith" `Quick test_breakdown ]);
+      ( "core",
+        [
+          Alcotest.test_case "single miss" `Quick test_single_miss_latency;
+          Alcotest.test_case "independent misses overlap" `Quick test_independent_misses_overlap;
+          Alcotest.test_case "dependent misses serialize" `Quick test_dependent_misses_serialize;
+          Alcotest.test_case "same line coalesces" `Quick test_same_line_coalesce;
+          Alcotest.test_case "store retires early" `Quick test_store_retires_early;
+          Alcotest.test_case "MSHR limit" `Quick test_mshr_limit;
+          Alcotest.test_case "window limits overlap" `Quick test_window_limits_overlap;
+          Alcotest.test_case "IPC bounds" `Quick test_ipc_bounded_by_retire_width;
+          Alcotest.test_case "barrier sync" `Quick test_barrier_sync;
+          Alcotest.test_case "MSHR histograms" `Quick test_mshr_histograms;
+          Alcotest.test_case "deadlock guard" `Quick test_deadlock_guard;
+          Alcotest.test_case "config presets" `Quick test_config_presets;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "repeatable" `Quick test_simulation_deterministic ] );
+      ( "prefetch",
+        [
+          Alcotest.test_case "hides latency" `Quick test_prefetch_hides_latency;
+          Alcotest.test_case "late prefetch" `Quick test_prefetch_late;
+          Alcotest.test_case "never stalls" `Quick test_prefetch_never_stalls_retire;
+        ] );
+    ]
