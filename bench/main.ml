@@ -30,12 +30,23 @@ open Memclust_harness
 (* ------------------------------------------------------------------ *)
 
 let run_experiments ids =
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun id ->
       match Figures.by_id id with
       | Some f -> Printf.printf "==== %s ====\n%s\n\n%!" id (f ())
       | None -> Printf.eprintf "unknown experiment id %s\n" id)
-    ids
+    ids;
+  Printf.printf
+    "==== sweep wall-clock: %.1f s (%d experiments, sim mode %s, %d pool \
+     domains) ====\n\
+     %!"
+    (Unix.gettimeofday () -. t0)
+    (List.length ids)
+    (match Machine.default_mode () with
+    | Machine.Cycle -> "cycle"
+    | Machine.Event -> "event")
+    (Memclust_util.Domain_pool.size (Memclust_util.Domain_pool.default ()))
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: pipeline microbenchmarks                                    *)
@@ -127,6 +138,7 @@ let run_micro () =
   in
   let results = Analyze.merge ols instances results in
   Printf.printf "==== microbenchmarks (ns per run) ====\n";
+  let json_rows = ref [] in
   Hashtbl.iter
     (fun _metric tbl ->
       let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
@@ -134,15 +146,33 @@ let run_micro () =
       List.iter
         (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-36s %12.1f\n" name est
+          | Some [ est ] ->
+              Printf.printf "  %-36s %12.1f\n" name est;
+              json_rows := (name, Some est) :: !json_rows
           | Some l ->
               Printf.printf "  %-36s %12s\n" name
                 (String.concat ","
-                   (List.map (fun e -> Printf.sprintf "%.1f" e) l))
-          | None -> Printf.printf "  %-36s %12s\n" name "n/a")
+                   (List.map (fun e -> Printf.sprintf "%.1f" e) l));
+              json_rows := (name, None) :: !json_rows
+          | None ->
+              Printf.printf "  %-36s %12s\n" name "n/a";
+              json_rows := (name, None) :: !json_rows)
         rows)
     results;
-  print_newline ()
+  print_newline ();
+  (* machine-readable trail for tracking the perf trajectory across PRs *)
+  let rows = List.rev !json_rows in
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "(ns/run also written to BENCH_micro.json)\n%!"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

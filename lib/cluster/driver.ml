@@ -148,15 +148,44 @@ let replace_nth body idx repl =
 (* Analysis wrappers                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Profiling interprets the whole program, and the same candidate program
+   is profiled repeatedly — across binary-search steps, and across
+   machine configurations that differ only in parameters the profile
+   doesn't depend on (window, MSHR count). Memoize on a structural digest
+   of the program plus the line size; [p_name] is part of the digest, so
+   workloads with distinct initializers never collide. The returned
+   closure reads an immutable profile, so sharing across domains is safe. *)
+let pm_cache : (string, int -> float) Hashtbl.t = Hashtbl.create 64
+let pm_mutex = Mutex.create ()
+
+let with_pm_lock f =
+  Mutex.lock pm_mutex;
+  match f () with
+  | v ->
+      Mutex.unlock pm_mutex;
+      v
+  | exception e ->
+      Mutex.unlock pm_mutex;
+      raise e
+
 let make_pm options ~init p =
   if not options.profile_pm then fun _ -> 1.0
   else begin
-    let data = Data.create p in
-    (match init with Some f -> f data | None -> ());
-    let prof =
-      Profile.run ~line_size:options.machine.Machine_model.line_size p data
+    let line_size = options.machine.Machine_model.line_size in
+    let key =
+      Printf.sprintf "%d|%s|%s" line_size
+        (match init with None -> "-" | Some _ -> "i")
+        (Digest.to_hex (Digest.string (Marshal.to_string p [])))
     in
-    fun id -> Profile.miss_rate prof id
+    match with_pm_lock (fun () -> Hashtbl.find_opt pm_cache key) with
+    | Some pm -> pm
+    | None ->
+        let data = Data.create p in
+        (match init with Some f -> f data | None -> ());
+        let prof = Profile.run ~line_size p data in
+        let pm id = Profile.miss_rate prof id in
+        with_pm_lock (fun () -> Hashtbl.replace pm_cache key pm);
+        pm
   end
 
 (* Evaluate f for the innermost construct identified by [key] inside the

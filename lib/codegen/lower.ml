@@ -18,31 +18,26 @@ let build ?(nprocs = 1) (p : Ast.program) data =
     else if t land proc_mask = !cur then t lsr proc_bits
     else -1
   in
-  let two deps =
-    match deps with
-    | [] -> (-1, -1)
-    | [ a ] -> (local a, -1)
-    | [ a; b ] -> (local a, local b)
-    | a :: b :: _ -> (local a, local b)
-  in
-  let push ~kind ~aux ~ref_ deps =
-    let dep1, dep2 = two deps in
-    tok (Trace.push traces.(!cur) ~kind ~aux ~dep1 ~dep2 ~ref_)
+  let push ~kind ~aux ~ref_ d1 d2 =
+    tok
+      (Trace.push traces.(!cur) ~kind ~aux ~dep1:(local d1) ~dep2:(local d2)
+         ~ref_)
   in
   let emit =
     {
-      Exec.e_int = (fun deps -> push ~kind:Trace.Int_op ~aux:1 ~ref_:0 deps);
-      e_fp = (fun ~lat deps -> push ~kind:Trace.Fp_op ~aux:lat ~ref_:0 deps);
+      Exec.e_int = (fun d1 d2 -> push ~kind:Trace.Int_op ~aux:1 ~ref_:0 d1 d2);
+      e_fp = (fun ~lat d1 d2 -> push ~kind:Trace.Fp_op ~aux:lat ~ref_:0 d1 d2);
       e_load =
-        (fun ~ref_id ~addr deps -> push ~kind:Trace.Load ~aux:addr ~ref_:ref_id deps);
+        (fun ~ref_id ~addr d1 d2 ->
+          push ~kind:Trace.Load ~aux:addr ~ref_:ref_id d1 d2);
       e_store =
-        (fun ~ref_id ~addr deps ->
-          push ~kind:Trace.Store ~aux:addr ~ref_:ref_id deps);
+        (fun ~ref_id ~addr d1 d2 ->
+          push ~kind:Trace.Store ~aux:addr ~ref_:ref_id d1 d2);
       e_prefetch =
-        (fun ~ref_id ~addr deps ->
-          ignore (push ~kind:Trace.Prefetch_op ~aux:addr ~ref_:ref_id deps));
+        (fun ~ref_id ~addr d1 d2 ->
+          ignore (push ~kind:Trace.Prefetch_op ~aux:addr ~ref_:ref_id d1 d2));
       e_branch =
-        (fun deps -> ignore (push ~kind:Trace.Branch ~aux:1 ~ref_:0 deps));
+        (fun d1 d2 -> ignore (push ~kind:Trace.Branch ~aux:1 ~ref_:0 d1 d2));
       e_barrier =
         (fun () ->
           if nprocs > 1 then begin
@@ -51,7 +46,7 @@ let build ?(nprocs = 1) (p : Ast.program) data =
             let saved = !cur in
             for p = 0 to nprocs - 1 do
               cur := p;
-              ignore (push ~kind:Trace.Barrier_op ~aux:id ~ref_:0 [])
+              ignore (push ~kind:Trace.Barrier_op ~aux:id ~ref_:0 (-1) (-1))
             done;
             cur := saved
           end);

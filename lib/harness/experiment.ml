@@ -30,28 +30,102 @@ let machine_of_config (cfg : Config.t) =
   }
 
 (* Clustering is deterministic: memoize per (workload, config) so the
-   multiprocessor and uniprocessor runs share one transformation. *)
+   multiprocessor and uniprocessor runs share one transformation.
+
+   The memo tables are shared across the domains of the experiment pool,
+   so every access is mutex-guarded. Computation runs outside the lock:
+   two domains racing on the same key may duplicate (deterministic) work,
+   but Figures deduplicates its spec lists so this stays rare. *)
 let cache : (string, Ast.program * Driver.report) Hashtbl.t = Hashtbl.create 16
+let cache_m = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
 
 let transform (cfg : Config.t) (w : Workload.t) =
-  let key = w.Workload.name ^ "@" ^ cfg.Config.name in
-  match Hashtbl.find_opt cache key with
+  let machine =
+    { (machine_of_config cfg) with
+      Machine_model.max_procs = max 1 w.Workload.mp_procs
+    }
+  in
+  (* key on the analysis-side machine projection, not the config name:
+     configs that differ only in latencies/clock (e.g. the 1 GHz point)
+     share one clustering *)
+  let key =
+    Printf.sprintf "%s@w%d.m%d.l%d.p%d" w.Workload.name
+      machine.Machine_model.window machine.Machine_model.mshrs
+      machine.Machine_model.line_size machine.Machine_model.max_procs
+  in
+  match with_lock cache_m (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
   | None ->
-      let machine =
-        { (machine_of_config cfg) with
-          Machine_model.max_procs = max 1 w.Workload.mp_procs
-        }
-      in
       let options = { Driver.default_options with machine } in
       let r = Driver.run ~options ~init:w.Workload.init w.Workload.program in
-      Hashtbl.replace cache key r;
+      with_lock cache_m (fun () -> Hashtbl.replace cache key r);
       r
 
 let scaled_config (cfg : Config.t) (w : Workload.t) =
   match cfg.Config.l2_bytes with
   | None -> cfg
   | Some _ -> Config.with_l2 w.Workload.l2_bytes cfg
+
+(* Lowered traces depend only on (program, workload init, nprocs) — not on
+   the simulated machine — so one lowering serves every config that
+   simulates the same program. Keyed by a structural digest of the
+   program: distinct clusterings hash apart, identical ones (e.g. the
+   same workload clustered for two MSHR counts that lead to the same
+   transformation) hash together. The trace and the home map are
+   immutable once built, so sharing across runs is safe. *)
+let lower_cache : (string, Lower.t * (int -> int)) Hashtbl.t = Hashtbl.create 64
+let lower_m = Mutex.create ()
+
+let program_digest program =
+  Digest.to_hex (Digest.string (Marshal.to_string program []))
+
+let lowered_for (w : Workload.t) ~nprocs program =
+  let key =
+    Printf.sprintf "%s|%d|%s" w.Workload.name nprocs (program_digest program)
+  in
+  match with_lock lower_m (fun () -> Hashtbl.find_opt lower_cache key) with
+  | Some r -> r
+  | None ->
+      let data = Data.create program in
+      w.Workload.init data;
+      let lowered = Lower.build ~nprocs program data in
+      let home = Data.home_of_addr data ~nprocs in
+      let r = (lowered, home) in
+      with_lock lower_m (fun () -> Hashtbl.replace lower_cache key r);
+      r
+
+(* One more memo on top of [lowered_for]: the simulation result itself,
+   keyed by (workload, nprocs, full config contents, program digest).
+   Different figures frequently simulate the same program point — e.g.
+   the ablation's "full pipeline" variant is exactly the Clustered
+   version of the main tables — and [Machine.result] is only ever read
+   by the reporting code. *)
+let sim_cache : (string, Machine.result) Hashtbl.t = Hashtbl.create 64
+let sim_m = Mutex.create ()
+
+let simulate_cached (w : Workload.t) (cfg : Config.t) ~nprocs program =
+  let key =
+    Printf.sprintf "%s|%d|%s|%s" w.Workload.name nprocs
+      (Digest.to_hex (Digest.string (Marshal.to_string cfg [])))
+      (program_digest program)
+  in
+  match with_lock sim_m (fun () -> Hashtbl.find_opt sim_cache key) with
+  | Some r -> r
+  | None ->
+      let lowered, home = lowered_for w ~nprocs program in
+      let r = Machine.run cfg ~home lowered in
+      with_lock sim_m (fun () -> Hashtbl.replace sim_cache key r);
+      r
 
 let execute spec =
   let cfg = scaled_config spec.config spec.workload in
@@ -78,31 +152,29 @@ let execute spec =
         in
         (p, Some r)
   in
-  let data = Data.create program in
-  spec.workload.Workload.init data;
-  let lowered = Lower.build ~nprocs:spec.nprocs program data in
-  let home = Data.home_of_addr data ~nprocs:spec.nprocs in
-  let result = Machine.run cfg ~home lowered in
+  let result = simulate_cached spec.workload cfg ~nprocs:spec.nprocs program in
   { spec; result; cluster_report; program }
 
 let outcome_cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
+let outcome_m = Mutex.create ()
+
+let spec_key spec =
+  Printf.sprintf "%s|%s|%d|%s" spec.workload.Workload.name
+    spec.config.Config.name spec.nprocs
+    (match spec.version with
+    | Base -> "base"
+    | Clustered -> "clust"
+    | Prefetched -> "pf"
+    | Clustered_prefetched -> "clust+pf")
 
 let execute_cached spec =
-  let key =
-    Printf.sprintf "%s|%s|%d|%s" spec.workload.Workload.name
-      spec.config.Config.name spec.nprocs
-      (match spec.version with
-      | Base -> "base"
-      | Clustered -> "clust"
-      | Prefetched -> "pf"
-      | Clustered_prefetched -> "clust+pf")
-  in
-  match Hashtbl.find_opt outcome_cache key with
+  let key = spec_key spec in
+  match with_lock outcome_m (fun () -> Hashtbl.find_opt outcome_cache key) with
   | Some o -> o
   | None ->
       Printf.eprintf "[run] %s...\n%!" key;
       let o = execute spec in
-      Hashtbl.replace outcome_cache key o;
+      with_lock outcome_m (fun () -> Hashtbl.replace outcome_cache key o);
       o
 
 let exec_cycles o = o.result.Machine.cycles

@@ -34,14 +34,27 @@ val transform : Config.t -> Workload.t -> Ast.program * Driver.report
 (** Cluster the workload for the given machine (memoized per
     workload-name/config-name pair — transformation is deterministic). *)
 
+val simulate_cached :
+  Workload.t -> Config.t -> nprocs:int -> Ast.program -> Machine.result
+(** Lower (memoized on a structural program digest — one lowering serves
+    every config simulating the same program) and simulate (memoized on
+    workload, nprocs, config contents and program digest). The returned
+    result is shared: treat it as read-only. *)
+
 val execute : spec -> outcome
 (** The workload's scaled L2 size is applied to the config when the config
     has a two-level hierarchy; single-level configs (Exemplar) are used
     unchanged. *)
 
+val spec_key : spec -> string
+(** The memo key: ["workload|config|nprocs|version"]. Useful for
+    deduplicating spec lists before fanning out over a domain pool. *)
+
 val execute_cached : spec -> outcome
 (** Like {!execute}, memoized on (workload, config, nprocs, version); logs
-    progress to stderr. *)
+    progress to stderr. Safe to call from multiple domains concurrently
+    (the memo tables are mutex-guarded; racing domains may duplicate
+    deterministic work, never corrupt state). *)
 
 val exec_cycles : outcome -> int
 val data_stall : outcome -> float

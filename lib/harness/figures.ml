@@ -9,8 +9,36 @@ let buf_print f =
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
+let spec ~config ~nprocs ~version w =
+  { Experiment.workload = w; config; nprocs; version }
+
 let run ~config ~nprocs ~version w =
-  Experiment.execute_cached { Experiment.workload = w; config; nprocs; version }
+  Experiment.execute_cached (spec ~config ~nprocs ~version w)
+
+(* Each figure's experiment points are independent (workload, config,
+   nprocs, version) simulations: evaluate them across the shared domain
+   pool first, then assemble the tables from the (now warm) memo cache. *)
+let prewarm specs =
+  let seen = Hashtbl.create 16 in
+  let unique =
+    List.filter
+      (fun s ->
+        let k = Experiment.spec_key s in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      specs
+  in
+  ignore
+    (Domain_pool.map (Domain_pool.default ()) Experiment.execute_cached unique)
+
+let base_and_clustered ~config ~nprocs w =
+  [
+    spec ~config ~nprocs ~version:Experiment.Base w;
+    spec ~config ~nprocs ~version:Experiment.Clustered w;
+  ]
 
 let reduction_pct base clust =
   100.0 *. (1.0 -. (float_of_int clust /. float_of_int base))
@@ -72,6 +100,7 @@ let table2 () =
 
 let latbench_on config label paper_base paper_clust =
   let w = Registry.latbench () in
+  prewarm (base_and_clustered ~config ~nprocs:1 w);
   let b = run ~config ~nprocs:1 ~version:Experiment.Base w in
   let c = run ~config ~nprocs:1 ~version:Experiment.Clustered w in
   let ns = Machine.ns_per_cycle config in
@@ -137,6 +166,12 @@ let fig3 ~mp () =
       (fun w -> (not mp) || w.Workload.mp_procs > 1)
       (Registry.applications ())
   in
+  prewarm
+    (List.concat_map
+       (fun w ->
+         let nprocs = if mp then w.Workload.mp_procs else 1 in
+         base_and_clustered ~config:Config.base ~nprocs w)
+       apps);
   let rows =
     List.concat_map
       (fun w ->
@@ -180,17 +215,27 @@ let table3_paper =
     ("Ocean", "-2.9", "21.6");
   ]
 
+let table3_mp_ok w =
+  (* the paper runs Mp3d and MST only as uniprocessor codes on the real
+     machine *)
+  w.Workload.mp_procs > 1 && not (String.equal w.Workload.name "Mp3d")
+
 let table3 () =
   let cfg = Config.exemplar_like in
+  prewarm
+    (List.concat_map
+       (fun w ->
+         base_and_clustered ~config:cfg ~nprocs:1 w
+         @
+         if table3_mp_ok w then
+           base_and_clustered ~config:cfg ~nprocs:w.Workload.mp_procs w
+         else [])
+       (Registry.applications ()));
   let rows =
     List.map
       (fun w ->
         let name = w.Workload.name in
-        (* the paper runs Mp3d and MST only as uniprocessor codes on the
-           real machine *)
-        let mp_ok =
-          w.Workload.mp_procs > 1 && not (String.equal name "Mp3d")
-        in
+        let mp_ok = table3_mp_ok w in
         let mp =
           if mp_ok then begin
             let b = run ~config:cfg ~nprocs:w.Workload.mp_procs ~version:Experiment.Base w in
@@ -230,6 +275,11 @@ let mshr_curves ~read () =
   let ocean =
     List.find (fun w -> w.Workload.name = "Ocean") (Registry.applications ())
   in
+  prewarm
+    (List.concat_map
+       (fun w ->
+         base_and_clustered ~config:Config.base ~nprocs:w.Workload.mp_procs w)
+       [ lu; ocean ]);
   let curve w version =
     let o =
       run ~config:Config.base ~nprocs:w.Workload.mp_procs ~version w
@@ -285,6 +335,15 @@ let fig4b () =
 
 let ghz () =
   let cfg = Config.ghz Config.base in
+  prewarm
+    (List.concat_map
+       (fun w ->
+         base_and_clustered ~config:cfg ~nprocs:1 w
+         @
+         if w.Workload.mp_procs > 1 then
+           base_and_clustered ~config:cfg ~nprocs:w.Workload.mp_procs w
+         else [])
+       (Registry.applications ()));
   let line w =
     let red nprocs =
       let b = run ~config:cfg ~nprocs ~version:Experiment.Base w in
@@ -310,6 +369,18 @@ let ghz () =
 
 (* clustering x software prefetching (paper section 6 / reference [8]) *)
 let prefetch () =
+  prewarm
+    (List.concat_map
+       (fun w ->
+         List.map
+           (fun version -> spec ~config:Config.base ~nprocs:1 ~version w)
+           [
+             Experiment.Base;
+             Experiment.Prefetched;
+             Experiment.Clustered;
+             Experiment.Clustered_prefetched;
+           ])
+       (Registry.applications ()));
   let rows =
     List.concat_map
       (fun w ->
@@ -373,36 +444,53 @@ let ablation () =
   in
   let apps = [ "Em3d"; "LU"; "Mp3d"; "Ocean" ] in
   let simulate w prog =
-    let open Memclust_ir in
     let cfg = Config.with_l2 w.Workload.l2_bytes Config.base in
-    let data = Data.create prog in
-    w.Workload.init data;
-    let lowered = Memclust_codegen.Lower.build ~nprocs:1 prog data in
-    Machine.run cfg ~home:(fun _ -> 0) lowered
+    Experiment.simulate_cached w cfg ~nprocs:1 prog
+  in
+  let workloads = List.filter_map Registry.by_name apps in
+  (* fan the independent (workload x pipeline-variant) points — plus the
+     untransformed baselines — out over the domain pool *)
+  let pool = Domain_pool.default () in
+  let bases =
+    Domain_pool.map pool
+      (fun w ->
+        ( w.Workload.name,
+          simulate w (Memclust_ir.Program.renumber w.Workload.program) ))
+      workloads
+  in
+  let variants =
+    Domain_pool.map pool
+      (fun (w, (label, options)) ->
+        Printf.eprintf "[run] ablation %s %s...\n%!" w.Workload.name label;
+        let p, _ = Driver.run ~options ~init:w.Workload.init w.Workload.program in
+        (w.Workload.name, label, simulate w p))
+      (List.concat_map
+         (fun w -> List.map (fun so -> (w, so)) stage_options)
+         workloads)
   in
   let rows =
     List.concat_map
-      (fun name ->
-        match Registry.by_name name with
-        | None -> []
-        | Some w ->
-            let base = simulate w (Memclust_ir.Program.renumber w.Workload.program) in
-            List.mapi
-              (fun i (label, options) ->
-                Printf.eprintf "[run] ablation %s %s...
-%!" name label;
-                let p, _ =
-                  Driver.run ~options ~init:w.Workload.init w.Workload.program
-                in
-                let r = simulate w p in
-                [
-                  (if i = 0 then w.Workload.name else "");
-                  label;
-                  Table.fmt_float ~decimals:1
-                    (reduction_pct base.Machine.cycles r.Machine.cycles);
-                ])
-              stage_options)
-      apps
+      (fun w ->
+        let name = w.Workload.name in
+        let base = List.assoc name bases in
+        List.mapi
+          (fun i (label, _) ->
+            let r =
+              List.find_map
+                (fun (n, l, r) ->
+                  if String.equal n name && String.equal l label then Some r
+                  else None)
+                variants
+              |> Option.get
+            in
+            [
+              (if i = 0 then name else "");
+              label;
+              Table.fmt_float ~decimals:1
+                (reduction_pct base.Machine.cycles r.Machine.cycles);
+            ])
+          stage_options)
+      workloads
   in
   "Extension: per-stage ablation of the clustering driver (uniprocessor,
    % execution time reduced vs untransformed base).
@@ -420,14 +508,23 @@ let mshr_sweep () =
       List.find (fun w -> w.Workload.name = "LU") (Registry.applications ());
     ]
   in
+  let sweep_config mshrs =
+    { Config.base with Config.mshrs; name = Printf.sprintf "base-mshr%d" mshrs }
+  in
+  prewarm
+    (List.concat_map
+       (fun w ->
+         List.concat_map
+           (fun mshrs ->
+             base_and_clustered ~config:(sweep_config mshrs) ~nprocs:1 w)
+           points)
+       apps);
   let rows =
     List.concat_map
       (fun w ->
         List.mapi
           (fun i mshrs ->
-            let config =
-              { Config.base with Config.mshrs; name = Printf.sprintf "base-mshr%d" mshrs }
-            in
+            let config = sweep_config mshrs in
             let b = run ~config ~nprocs:1 ~version:Experiment.Base w in
             let c = run ~config ~nprocs:1 ~version:Experiment.Clustered w in
             let factor =

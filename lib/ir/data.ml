@@ -79,6 +79,13 @@ let addr_of t name i =
   let a = find_array t name in
   a.as_base + (clamp (Array.length a.as_data) i * a.as_elem)
 
+type handle = array_store
+
+let handle = find_array
+let h_addr a i = a.as_base + (clamp (Array.length a.as_data) i * a.as_elem)
+let h_get a i = a.as_data.(clamp (Array.length a.as_data) i)
+let h_set a i v = a.as_data.(clamp (Array.length a.as_data) i) <- v
+
 let array_base t name = (find_array t name).as_base
 
 let array_bytes t name =
@@ -91,8 +98,7 @@ let node_addr t name i =
 
 let node_ptr t name i = Vptr (node_addr t name i)
 
-let slot_of t name ~ptr ~field =
-  let r = find_region t name in
+let slot_of_r r name ~ptr ~field =
   if ptr = 0 then invalid_arg "Data: null pointer dereference";
   let off = ptr - r.rs_base in
   let node = off / r.rs_node in
@@ -102,7 +108,11 @@ let slot_of t name ~ptr ~field =
       (Printf.sprintf "Data: pointer %#x is not a node of region %s" ptr name);
   if field < 0 || field >= r.rs_slots then
     invalid_arg (Printf.sprintf "Data: field %d outside region %s nodes" field name);
-  (r, (node * r.rs_slots) + field)
+  (node * r.rs_slots) + field
+
+let slot_of t name ~ptr ~field =
+  let r = find_region t name in
+  (r, slot_of_r r name ~ptr ~field)
 
 let field_get t name ~ptr ~field =
   let r, slot = slot_of t name ~ptr ~field in
@@ -115,6 +125,20 @@ let field_set t name ~ptr ~field v =
 let field_addr t name ~ptr ~field =
   let r, _ = slot_of t name ~ptr ~field in
   ignore r;
+  ptr + (field * 8)
+
+type rhandle = { rh_name : string; rh : region_store }
+
+let rhandle t name = { rh_name = name; rh = find_region t name }
+
+let rh_get h ~ptr ~field =
+  h.rh.rs_data.(slot_of_r h.rh h.rh_name ~ptr ~field)
+
+let rh_set h ~ptr ~field v =
+  h.rh.rs_data.(slot_of_r h.rh h.rh_name ~ptr ~field) <- v
+
+let rh_addr h ~ptr ~field =
+  ignore (slot_of_r h.rh h.rh_name ~ptr ~field);
   ptr + (field * 8)
 
 let copy t =

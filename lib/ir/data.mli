@@ -29,6 +29,21 @@ val addr_of : t -> string -> int -> int
 val array_base : t -> string -> int
 val array_bytes : t -> string -> int
 
+(** {2 Array handles}
+
+    A resolved array, hoisting the name lookup out of access-per-element
+    loops (the executor resolves each reference once and then reads the
+    address and the value through the handle). *)
+
+type handle
+
+val handle : t -> string -> handle
+(** Raises [Invalid_argument] on an unknown array, like {!get}. *)
+
+val h_addr : handle -> int -> int
+val h_get : handle -> int -> value
+val h_set : handle -> int -> value -> unit
+
 (** {1 Regions (heaps of fixed-size nodes)} *)
 
 val node_addr : t -> string -> int -> int
@@ -43,6 +58,21 @@ val field_get : t -> string -> ptr:int -> field:int -> value
 
 val field_set : t -> string -> ptr:int -> field:int -> value -> unit
 val field_addr : t -> string -> ptr:int -> field:int -> int
+
+(** {2 Region handles}
+
+    Like array {!handle}s: a resolved region, hoisting the name lookup out
+    of per-node access loops (pointer chases hit the same region every
+    iteration). *)
+
+type rhandle
+
+val rhandle : t -> string -> rhandle
+(** Raises [Invalid_argument] on an unknown region, like {!field_get}. *)
+
+val rh_get : rhandle -> ptr:int -> field:int -> value
+val rh_set : rhandle -> ptr:int -> field:int -> value -> unit
+val rh_addr : rhandle -> ptr:int -> field:int -> int
 
 (** {1 Whole-store operations} *)
 

@@ -1,24 +1,28 @@
 open Ast
 
+(* Dependence tokens are passed positionally (at most two per operation,
+   [-1] = none) instead of as a list: the executor runs once per dynamic
+   operation, and the per-op list allocation was measurable in both trace
+   lowering and cache profiling. *)
 type emitter = {
-  e_int : int list -> int;
-  e_fp : lat:int -> int list -> int;
-  e_load : ref_id:int -> addr:int -> int list -> int;
-  e_store : ref_id:int -> addr:int -> int list -> int;
-  e_prefetch : ref_id:int -> addr:int -> int list -> unit;
-  e_branch : int list -> unit;
+  e_int : int -> int -> int;
+  e_fp : lat:int -> int -> int -> int;
+  e_load : ref_id:int -> addr:int -> int -> int -> int;
+  e_store : ref_id:int -> addr:int -> int -> int -> int;
+  e_prefetch : ref_id:int -> addr:int -> int -> int -> unit;
+  e_branch : int -> int -> unit;
   e_barrier : unit -> unit;
   e_set_proc : int -> unit;
 }
 
 let null_emitter =
   {
-    e_int = (fun _ -> -1);
-    e_fp = (fun ~lat:_ _ -> -1);
-    e_load = (fun ~ref_id:_ ~addr:_ _ -> -1);
-    e_store = (fun ~ref_id:_ ~addr:_ _ -> -1);
-    e_prefetch = (fun ~ref_id:_ ~addr:_ _ -> ());
-    e_branch = ignore;
+    e_int = (fun _ _ -> -1);
+    e_fp = (fun ~lat:_ _ _ -> -1);
+    e_load = (fun ~ref_id:_ ~addr:_ _ _ -> -1);
+    e_store = (fun ~ref_id:_ ~addr:_ _ _ -> -1);
+    e_prefetch = (fun ~ref_id:_ ~addr:_ _ _ -> ());
+    e_branch = (fun _ _ -> ());
     e_barrier = ignore;
     e_set_proc = ignore;
   }
@@ -93,222 +97,455 @@ let apply_binop op a b =
   | Le -> it_cmp a b ( <= ) ( <= )
   | Eq -> it_cmp a b ( = ) ( = )
 
-type state = {
+(* ------------------------------------------------------------------ *)
+(* The executor compiles the (small, static) AST to a tree of closures
+   once per run, then drives the closures through the (large, dynamic)
+   iteration space. Compilation interns every loop index and scalar name
+   to an integer slot, so the per-operation cost has no string hashing,
+   no environment tuple allocation and no data-store name lookups — all
+   of which dominated the interpreter this replaces. *)
+
+(* Runtime state. Variables live in slot-indexed arrays; [*_bound] tracks
+   dynamic scope (a slot exists for every name in the program, bound-ness
+   changes as loops enter and leave). [tok] is the dependence token of the
+   most recently evaluated expression — an out-parameter, replacing a
+   (value, token) tuple allocated per expression node. *)
+type rt = {
   emit : emitter;
   data : Data.t;
   nprocs : int;
   max_ops : int;
   mutable ops : int;
-  (* loop indices and symbolic parameters, integer-valued *)
-  ivars : (string, int) Hashtbl.t;
-  (* scalar variables: value and producing token *)
-  scalars : (string, value * int) Hashtbl.t;
+  ivar : int array;  (* loop indices and symbolic parameters *)
+  ivar_bound : bool array;
+  ivar_name : string array;
+  sval : value array;  (* scalar variables: value and producing token *)
+  stok : int array;
+  sbound : bool array;
+  svar_name : string array;
   mutable depth_parallel : int;  (* > 0 while inside a parallel loop *)
+  mutable tok : int;
 }
 
-let tick st =
-  st.ops <- st.ops + 1;
-  if st.ops > st.max_ops then raise Limit_exceeded
+let tick rt =
+  rt.ops <- rt.ops + 1;
+  if rt.ops > rt.max_ops then raise Limit_exceeded
 
-let ivar_value st v =
-  match Hashtbl.find_opt st.ivars v with
-  | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "Exec: unbound index variable %s" v)
+let ivar_get rt id =
+  if rt.ivar_bound.(id) then rt.ivar.(id)
+  else
+    invalid_arg
+      (Printf.sprintf "Exec: unbound index variable %s" rt.ivar_name.(id))
 
-let eval_affine st a = Affine.eval (ivar_value st) a
+(* Compile-time environment: name -> slot interning tables. *)
+type cenv = {
+  ivar_ids : (string, int) Hashtbl.t;
+  mutable n_ivars : int;
+  svar_ids : (string, int) Hashtbl.t;
+  mutable n_svars : int;
+}
 
-let deps l = List.filter (fun t -> t >= 0) l
+let ivar_id env v =
+  match Hashtbl.find_opt env.ivar_ids v with
+  | Some id -> id
+  | None ->
+      let id = env.n_ivars in
+      Hashtbl.replace env.ivar_ids v id;
+      env.n_ivars <- id + 1;
+      id
 
-(* Evaluate an expression; returns (value, token of producing op). *)
-let rec eval st e : value * int =
-  match e with
-  | Const v -> (v, -1)
-  | Ivar v -> (Vint (ivar_value st v), -1)
-  | Scalar v -> (
-      match Hashtbl.find_opt st.scalars v with
-      | Some (value, tok) -> (value, tok)
-      | None -> invalid_arg (Printf.sprintf "Exec: unbound scalar %s" v))
-  | Load r ->
-      let value, _addr, tok = eval_load st r in
-      (value, tok)
-  | Unop (op, a) ->
-      let va, ta = eval st a in
-      tick st;
-      let v = apply_unop op va in
-      let tok =
-        if is_float v || op = Sqrt then st.emit.e_fp ~lat:(if op = Sqrt then 33 else 3) (deps [ ta ])
-        else st.emit.e_int (deps [ ta ])
-      in
-      (v, tok)
-  | Binop (op, a, b) ->
-      let va, ta = eval st a in
-      let vb, tb = eval st b in
-      tick st;
-      let v = apply_binop op va vb in
-      let tok =
-        if is_float va || is_float vb then st.emit.e_fp ~lat:(fp_latency op) (deps [ ta; tb ])
-        else st.emit.e_int (deps [ ta; tb ])
-      in
-      (v, tok)
+let svar_id env v =
+  match Hashtbl.find_opt env.svar_ids v with
+  | Some id -> id
+  | None ->
+      let id = env.n_svars in
+      Hashtbl.replace env.svar_ids v id;
+      env.n_svars <- id + 1;
+      id
 
-(* Resolve a reference to (address, value-read, token). Also emits the
-   address-generation operation where one is needed. *)
-and eval_load st r =
-  let addr, addr_tok, read =
-    resolve st r
+(* Affine forms are evaluated in Smap (= sorted-name) term order, like the
+   interpreter did, so an unbound-variable error surfaces on the same
+   term. The common 0/1/2-term shapes get dedicated closures. *)
+let compile_affine env a =
+  let c0 = Affine.constant a in
+  let terms =
+    List.map (fun v -> (ivar_id env v, Affine.coeff a v)) (Affine.vars a)
   in
-  tick st;
-  let tok = st.emit.e_load ~ref_id:r.ref_id ~addr (deps [ addr_tok ]) in
-  (read (), addr, tok)
+  match terms with
+  | [] -> fun _ -> c0
+  | [ (s, c) ] -> fun rt -> c0 + (c * ivar_get rt s)
+  | [ (s1, c1); (s2, c2) ] ->
+      fun rt -> c0 + (c1 * ivar_get rt s1) + (c2 * ivar_get rt s2)
+  | l ->
+      let arr = Array.of_list l in
+      fun rt ->
+        Array.fold_left (fun acc (s, c) -> acc + (c * ivar_get rt s)) c0 arr
 
-(* (address, token the address depends on, thunk reading current value) *)
-and resolve st r =
+(* Array / region handles are resolved on first use and cached for the
+   rest of the run (the closure tree is rebuilt per run, so a cache never
+   outlives its data store). First-use resolution keeps the interpreter's
+   behaviour of raising on an unknown name only if the reference is
+   actually executed. *)
+let cached_handle array =
+  let h = ref None in
+  fun rt ->
+    match !h with
+    | Some a -> a
+    | None ->
+        let a = Data.handle rt.data array in
+        h := Some a;
+        a
+
+let cached_rhandle region =
+  let h = ref None in
+  fun rt ->
+    match !h with
+    | Some r -> r
+    | None ->
+        let r = Data.rhandle rt.data region in
+        h := Some r;
+        r
+
+(* Compile an expression to a closure returning its value; the producing
+   token is left in [rt.tok]. *)
+let rec compile_expr env e : rt -> value =
+  match e with
+  | Const v ->
+      fun rt ->
+        rt.tok <- -1;
+        v
+  | Ivar v ->
+      let id = ivar_id env v in
+      fun rt ->
+        rt.tok <- -1;
+        Vint (ivar_get rt id)
+  | Scalar v ->
+      let id = svar_id env v in
+      fun rt ->
+        if rt.sbound.(id) then begin
+          rt.tok <- rt.stok.(id);
+          rt.sval.(id)
+        end
+        else
+          invalid_arg
+            (Printf.sprintf "Exec: unbound scalar %s" rt.svar_name.(id))
+  | Load r -> compile_load env r
+  | Unop (op, a) ->
+      let ca = compile_expr env a in
+      let sqrt_ = op = Sqrt in
+      let lat = if sqrt_ then 33 else 3 in
+      fun rt ->
+        let va = ca rt in
+        let ta = rt.tok in
+        tick rt;
+        let v = apply_unop op va in
+        rt.tok <-
+          (if is_float v || sqrt_ then rt.emit.e_fp ~lat ta (-1)
+           else rt.emit.e_int ta (-1));
+        v
+  | Binop (op, a, b) ->
+      let ca = compile_expr env a in
+      let cb = compile_expr env b in
+      let lat = fp_latency op in
+      fun rt ->
+        let va = ca rt in
+        let ta = rt.tok in
+        let vb = cb rt in
+        let tb = rt.tok in
+        tick rt;
+        let v = apply_binop op va vb in
+        rt.tok <-
+          (if is_float va || is_float vb then rt.emit.e_fp ~lat ta tb
+           else rt.emit.e_int ta tb);
+        v
+
+(* Loads emit the same operation sequence as the interpreter: direct and
+   indirect references pay one address-generation integer op, field
+   references use register+offset addressing (no separate address op). *)
+and compile_load env (r : mem_ref) : rt -> value =
+  let ref_id = r.ref_id in
   match r.target with
   | Direct { array; index } ->
-      let i = eval_affine st index in
-      let addr = Data.addr_of st.data array i in
-      (* address generation: one integer op (induction-variable add) *)
-      tick st;
-      let t = st.emit.e_int [] in
-      (addr, t, fun () -> Data.get st.data array i)
+      let ci = compile_affine env index in
+      let h = cached_handle array in
+      fun rt ->
+        let i = ci rt in
+        let a = h rt in
+        let addr = Data.h_addr a i in
+        tick rt;
+        let at = rt.emit.e_int (-1) (-1) in
+        tick rt;
+        rt.tok <- rt.emit.e_load ~ref_id ~addr at (-1);
+        Data.h_get a i
   | Indirect { array; index } ->
-      let vi, ti = eval st index in
-      let i = to_int vi in
-      let addr = Data.addr_of st.data array i in
-      tick st;
-      let t = st.emit.e_int (deps [ ti ]) in
-      (addr, t, fun () -> Data.get st.data array i)
+      let ce = compile_expr env index in
+      let h = cached_handle array in
+      fun rt ->
+        let vi = ce rt in
+        let ti = rt.tok in
+        let i = to_int vi in
+        let a = h rt in
+        let addr = Data.h_addr a i in
+        tick rt;
+        let at = rt.emit.e_int ti (-1) in
+        tick rt;
+        rt.tok <- rt.emit.e_load ~ref_id ~addr at (-1);
+        Data.h_get a i
   | Field { region; ptr; field } ->
-      let vp, tp = eval st ptr in
-      let p = to_int vp in
-      let addr = Data.field_addr st.data region ~ptr:p ~field in
-      (* register+offset addressing: no separate address op *)
-      (addr, tp, fun () -> Data.field_get st.data region ~ptr:p ~field)
+      let cp = compile_expr env ptr in
+      let rh = cached_rhandle region in
+      fun rt ->
+        let vp = cp rt in
+        let tp = rt.tok in
+        let p = to_int vp in
+        let r = rh rt in
+        let addr = Data.rh_addr r ~ptr:p ~field in
+        tick rt;
+        rt.tok <- rt.emit.e_load ~ref_id ~addr tp (-1);
+        Data.rh_get r ~ptr:p ~field
 
-let rec exec_stmt st stmt =
+let rec compile_stmt env stmt : rt -> unit =
   match stmt with
   | Assign (Lscalar v, e) ->
-      let value, tok = eval st e in
-      Hashtbl.replace st.scalars v (value, tok)
+      let id = svar_id env v in
+      let ce = compile_expr env e in
+      fun rt ->
+        let value = ce rt in
+        rt.sval.(id) <- value;
+        rt.stok.(id) <- rt.tok;
+        rt.sbound.(id) <- true
   | Assign (Lmem r, e) ->
-      let value, vtok = eval st e in
-      store_ref st r value vtok
+      let ce = compile_expr env e in
+      let cs = compile_store env r in
+      fun rt ->
+        let value = ce rt in
+        let vtok = rt.tok in
+        cs rt value vtok
   | Use e ->
-      let _v, _t = eval st e in
-      ()
-  | Barrier -> st.emit.e_barrier ()
-  | Prefetch r -> (
-      (* compute the address and emit the hint; a prefetch through a null
-         or dangling pointer is silently dropped, as hardware does *)
-      match resolve st r with
-      | addr, tok, _read -> st.emit.e_prefetch ~ref_id:r.ref_id ~addr (deps [ tok ])
-      | exception Invalid_argument _ -> ())
+      let ce = compile_expr env e in
+      fun rt -> ignore (ce rt)
+  | Barrier -> fun rt -> rt.emit.e_barrier ()
+  | Prefetch r -> compile_prefetch env r
   | If (cond, then_, else_) ->
-      let v, t = eval st cond in
-      st.emit.e_branch (deps [ t ]);
-      let branch = if to_int v <> 0 then then_ else else_ in
-      List.iter (exec_stmt st) branch
-  | Loop l -> exec_loop st l
-  | Chase c -> exec_chase st c
+      let cc = compile_expr env cond in
+      let ct = compile_stmts env then_ in
+      let ce = compile_stmts env else_ in
+      fun rt ->
+        let v = cc rt in
+        rt.emit.e_branch rt.tok (-1);
+        if to_int v <> 0 then ct rt else ce rt
+  | Loop l -> compile_loop env l
+  | Chase c -> compile_chase env c
 
-and store_ref st r value vtok =
+and compile_stmts env stmts : rt -> unit =
+  match List.map (compile_stmt env) stmts with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | fs ->
+      let arr = Array.of_list fs in
+      fun rt -> Array.iter (fun f -> f rt) arr
+
+and compile_store env (r : mem_ref) : rt -> value -> int -> unit =
+  let ref_id = r.ref_id in
   match r.target with
   | Direct { array; index } ->
-      let i = eval_affine st index in
-      tick st;
-      let at = st.emit.e_int [] in
-      let addr = Data.addr_of st.data array i in
-      tick st;
-      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; at ]));
-      Data.set st.data array i value
+      let ci = compile_affine env index in
+      let h = cached_handle array in
+      fun rt value vtok ->
+        let i = ci rt in
+        tick rt;
+        let at = rt.emit.e_int (-1) (-1) in
+        let a = h rt in
+        let addr = Data.h_addr a i in
+        tick rt;
+        ignore (rt.emit.e_store ~ref_id ~addr vtok at);
+        Data.h_set a i value
   | Indirect { array; index } ->
-      let vi, ti = eval st index in
-      let i = to_int vi in
-      tick st;
-      let at = st.emit.e_int (deps [ ti ]) in
-      let addr = Data.addr_of st.data array i in
-      tick st;
-      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; at ]));
-      Data.set st.data array i value
+      let ce = compile_expr env index in
+      let h = cached_handle array in
+      fun rt value vtok ->
+        let vi = ce rt in
+        let ti = rt.tok in
+        let i = to_int vi in
+        tick rt;
+        let at = rt.emit.e_int ti (-1) in
+        let a = h rt in
+        let addr = Data.h_addr a i in
+        tick rt;
+        ignore (rt.emit.e_store ~ref_id ~addr vtok at);
+        Data.h_set a i value
   | Field { region; ptr; field } ->
-      let vp, tp = eval st ptr in
-      let p = to_int vp in
-      let addr = Data.field_addr st.data region ~ptr:p ~field in
-      tick st;
-      ignore (st.emit.e_store ~ref_id:r.ref_id ~addr (deps [ vtok; tp ]));
-      Data.field_set st.data region ~ptr:p ~field value
+      let cp = compile_expr env ptr in
+      let rh = cached_rhandle region in
+      fun rt value vtok ->
+        let vp = cp rt in
+        let tp = rt.tok in
+        let p = to_int vp in
+        let r = rh rt in
+        let addr = Data.rh_addr r ~ptr:p ~field in
+        tick rt;
+        ignore (rt.emit.e_store ~ref_id ~addr vtok tp);
+        Data.rh_set r ~ptr:p ~field value
 
-and exec_loop st l =
-  let lo = eval_affine st l.lo and hi = eval_affine st l.hi in
-  let distribute = l.parallel && st.nprocs > 1 && st.depth_parallel = 0 in
-  let total = if hi > lo then (hi - lo + l.step - 1) / l.step else 0 in
-  if distribute then st.depth_parallel <- st.depth_parallel + 1;
-  let saved = Hashtbl.find_opt st.ivars l.var in
-  let iter_num = ref 0 in
-  let i = ref lo in
-  while !i < hi do
-    (* balanced block distribution: every processor gets ⌊total/n⌋ or
-       ⌈total/n⌉ consecutive iterations *)
-    if distribute && total > 0 then
-      st.emit.e_set_proc (min (st.nprocs - 1) (!iter_num * st.nprocs / total));
-    Hashtbl.replace st.ivars l.var !i;
-    List.iter (exec_stmt st) l.body;
-    (* loop overhead: induction increment + backward branch *)
-    tick st;
-    let t = st.emit.e_int [] in
-    st.emit.e_branch [ t ];
-    incr iter_num;
-    i := !i + l.step
-  done;
-  (match saved with
-  | Some v -> Hashtbl.replace st.ivars l.var v
-  | None -> Hashtbl.remove st.ivars l.var);
-  if distribute then begin
-    st.depth_parallel <- st.depth_parallel - 1;
-    st.emit.e_set_proc 0;
-    st.emit.e_barrier ()
-  end
-
-and exec_chase st c =
-  let v0, t0 = eval st c.init in
-  let limit = Option.map (eval_affine st) c.count in
-  let saved = Hashtbl.find_opt st.scalars c.cvar in
-  let p = ref (to_int v0) in
-  let ptok = ref t0 in
-  let n = ref 0 in
-  let continue () =
-    !p <> 0 && match limit with Some k -> !n < k | None -> true
+(* A prefetch through a null or dangling pointer (or an unbound variable)
+   is silently dropped, as hardware drops hint prefetches; the address
+   computation's own operations still count when they were emitted. *)
+and compile_prefetch env (r : mem_ref) : rt -> unit =
+  let ref_id = r.ref_id in
+  let addr_tok =
+    match r.target with
+    | Direct { array; index } ->
+        let ci = compile_affine env index in
+        let h = cached_handle array in
+        fun rt ->
+          let i = ci rt in
+          let a = h rt in
+          let addr = Data.h_addr a i in
+          tick rt;
+          (addr, rt.emit.e_int (-1) (-1))
+    | Indirect { array; index } ->
+        let ce = compile_expr env index in
+        let h = cached_handle array in
+        fun rt ->
+          let vi = ce rt in
+          let ti = rt.tok in
+          let i = to_int vi in
+          let a = h rt in
+          let addr = Data.h_addr a i in
+          tick rt;
+          (addr, rt.emit.e_int ti (-1))
+    | Field { region; ptr; field } ->
+        let cp = compile_expr env ptr in
+        let rh = cached_rhandle region in
+        fun rt ->
+          let vp = cp rt in
+          let tp = rt.tok in
+          let p = to_int vp in
+          (Data.rh_addr (rh rt) ~ptr:p ~field, tp)
   in
-  while continue () do
-    Hashtbl.replace st.scalars c.cvar (Vptr !p, !ptok);
-    List.iter (exec_stmt st) c.cbody;
-    (* advance: p = p->next — a load whose address depends on p *)
-    let addr = Data.field_addr st.data c.cregion ~ptr:!p ~field:c.next_field in
-    tick st;
-    let tok = st.emit.e_load ~ref_id:c.next_ref_id ~addr (deps [ !ptok ]) in
-    let next = Data.field_get st.data c.cregion ~ptr:!p ~field:c.next_field in
-    st.emit.e_branch [ tok ];
-    p := to_int next;
-    ptok := tok;
-    incr n
-  done;
-  (match saved with
-  | Some v -> Hashtbl.replace st.scalars c.cvar v
-  | None -> Hashtbl.remove st.scalars c.cvar)
+  fun rt ->
+    match addr_tok rt with
+    | addr, tok -> rt.emit.e_prefetch ~ref_id ~addr tok (-1)
+    | exception Invalid_argument _ -> ()
 
-let run ?(emit = null_emitter) ?(nprocs = 1) ?(max_ops = 200_000_000) (p : program)
-    data =
-  let st =
+and compile_loop env (l : loop) : rt -> unit =
+  let clo = compile_affine env l.lo in
+  let chi = compile_affine env l.hi in
+  let vid = ivar_id env l.var in
+  let cbody = compile_stmts env l.body in
+  let step = l.step in
+  let parallel = l.parallel in
+  fun rt ->
+    let lo = clo rt and hi = chi rt in
+    let distribute = parallel && rt.nprocs > 1 && rt.depth_parallel = 0 in
+    let total = if hi > lo then (hi - lo + step - 1) / step else 0 in
+    if distribute then rt.depth_parallel <- rt.depth_parallel + 1;
+    let saved_v = rt.ivar.(vid) and saved_b = rt.ivar_bound.(vid) in
+    rt.ivar_bound.(vid) <- true;
+    let iter_num = ref 0 in
+    let i = ref lo in
+    while !i < hi do
+      (* balanced block distribution: every processor gets ⌊total/n⌋ or
+         ⌈total/n⌉ consecutive iterations *)
+      if distribute && total > 0 then
+        rt.emit.e_set_proc (min (rt.nprocs - 1) (!iter_num * rt.nprocs / total));
+      rt.ivar.(vid) <- !i;
+      cbody rt;
+      (* loop overhead: induction increment + backward branch *)
+      tick rt;
+      let t = rt.emit.e_int (-1) (-1) in
+      rt.emit.e_branch t (-1);
+      incr iter_num;
+      i := !i + step
+    done;
+    rt.ivar.(vid) <- saved_v;
+    rt.ivar_bound.(vid) <- saved_b;
+    if distribute then begin
+      rt.depth_parallel <- rt.depth_parallel - 1;
+      rt.emit.e_set_proc 0;
+      rt.emit.e_barrier ()
+    end
+
+and compile_chase env (c : chase) : rt -> unit =
+  let cinit = compile_expr env c.init in
+  let climit = Option.map (compile_affine env) c.count in
+  let vid = svar_id env c.cvar in
+  let cbody = compile_stmts env c.cbody in
+  let rh = cached_rhandle c.cregion in
+  let next_field = c.next_field in
+  let next_ref_id = c.next_ref_id in
+  fun rt ->
+    let v0 = cinit rt in
+    let t0 = rt.tok in
+    let limit = match climit with Some f -> Some (f rt) | None -> None in
+    let saved_v = rt.sval.(vid)
+    and saved_t = rt.stok.(vid)
+    and saved_b = rt.sbound.(vid) in
+    let p = ref (to_int v0) in
+    let ptok = ref t0 in
+    let n = ref 0 in
+    let continue () =
+      !p <> 0 && match limit with Some k -> !n < k | None -> true
+    in
+    while continue () do
+      rt.sval.(vid) <- Vptr !p;
+      rt.stok.(vid) <- !ptok;
+      rt.sbound.(vid) <- true;
+      cbody rt;
+      (* advance: p = p->next — a load whose address depends on p *)
+      let r = rh rt in
+      let addr = Data.rh_addr r ~ptr:!p ~field:next_field in
+      tick rt;
+      let tok = rt.emit.e_load ~ref_id:next_ref_id ~addr !ptok (-1) in
+      let next = Data.rh_get r ~ptr:!p ~field:next_field in
+      rt.emit.e_branch tok (-1);
+      p := to_int next;
+      ptok := tok;
+      incr n
+    done;
+    rt.sval.(vid) <- saved_v;
+    rt.stok.(vid) <- saved_t;
+    rt.sbound.(vid) <- saved_b
+
+let run ?(emit = null_emitter) ?(nprocs = 1) ?(max_ops = 200_000_000)
+    (p : program) data =
+  let env =
+    {
+      ivar_ids = Hashtbl.create 16;
+      n_ivars = 0;
+      svar_ids = Hashtbl.create 16;
+      n_svars = 0;
+    }
+  in
+  (* intern parameters first so their slots exist before the body runs *)
+  let param_ids = List.map (fun (name, v) -> (ivar_id env name, v)) p.params in
+  let cbody = compile_stmts env p.body in
+  let ni = max 1 env.n_ivars and ns = max 1 env.n_svars in
+  let ivar_name = Array.make ni "" in
+  Hashtbl.iter (fun k id -> ivar_name.(id) <- k) env.ivar_ids;
+  let svar_name = Array.make ns "" in
+  Hashtbl.iter (fun k id -> svar_name.(id) <- k) env.svar_ids;
+  let rt =
     {
       emit;
       data;
       nprocs;
       max_ops;
       ops = 0;
-      ivars = Hashtbl.create 16;
-      scalars = Hashtbl.create 16;
+      ivar = Array.make ni 0;
+      ivar_bound = Array.make ni false;
+      ivar_name;
+      sval = Array.make ns (Vint 0);
+      stok = Array.make ns (-1);
+      sbound = Array.make ns false;
+      svar_name;
       depth_parallel = 0;
+      tok = -1;
     }
   in
-  List.iter (fun (name, v) -> Hashtbl.replace st.ivars name v) p.params;
-  List.iter (exec_stmt st) p.body
+  List.iter
+    (fun (id, v) ->
+      rt.ivar.(id) <- v;
+      rt.ivar_bound.(id) <- true)
+    param_ids;
+  cbody rt

@@ -17,15 +17,18 @@
 open Ast
 
 type emitter = {
-  e_int : int list -> int;
-      (** 1-cycle integer/address operation; argument = dependence tokens;
-          result = token of the new operation *)
-  e_fp : lat:int -> int list -> int;  (** floating-point operation *)
-  e_load : ref_id:int -> addr:int -> int list -> int;
-  e_store : ref_id:int -> addr:int -> int list -> int;
-  e_prefetch : ref_id:int -> addr:int -> int list -> unit;
+  e_int : int -> int -> int;
+      (** 1-cycle integer/address operation; arguments = the (up to two)
+          dependence tokens, [-1] = no dependence; result = token of the
+          new operation. Every emission site passes its tokens positionally
+          rather than as a list: the executor runs once per dynamic
+          operation, so the per-op list allocation was measurable. *)
+  e_fp : lat:int -> int -> int -> int;  (** floating-point operation *)
+  e_load : ref_id:int -> addr:int -> int -> int -> int;
+  e_store : ref_id:int -> addr:int -> int -> int -> int;
+  e_prefetch : ref_id:int -> addr:int -> int -> int -> unit;
       (** non-binding prefetch hint *)
-  e_branch : int list -> unit;  (** conditional branch / loop back-edge *)
+  e_branch : int -> int -> unit;  (** conditional branch / loop back-edge *)
   e_barrier : unit -> unit;  (** global synchronization *)
   e_set_proc : int -> unit;
       (** subsequent operations belong to this processor (parallel loops) *)

@@ -59,8 +59,8 @@ let run ?(cache_bytes = 64 * 1024) ?(assoc = 4) ?(line_size = 64) p data =
   let emit =
     {
       Exec.null_emitter with
-      e_load = (fun ~ref_id ~addr _ -> note ref_id addr; -1);
-      e_store = (fun ~ref_id ~addr _ -> note ref_id addr; -1);
+      e_load = (fun ~ref_id ~addr _ _ -> note ref_id addr; -1);
+      e_store = (fun ~ref_id ~addr _ _ -> note ref_id addr; -1);
     }
   in
   Exec.run ~emit p (Data.copy data);

@@ -1,3 +1,4 @@
+open Memclust_util
 open Memclust_codegen
 
 type shared = {
@@ -16,22 +17,84 @@ type mshr_entry = {
   mutable prefetch_only : bool;  (* allocated by a prefetch, no demand yet *)
 }
 
+(* Per-cycle statistic deltas of the last step, replayed when the machine
+   skips over provably-identical stall cycles. Kept in their own all-float
+   record: float fields of a mixed record are boxed, and these four are
+   written on every executed cycle. *)
+type deltas = {
+  mutable d_busy : float;
+  mutable d_cpu_stall : float;
+  mutable d_data_stall : float;
+  mutable d_sync_stall : float;
+}
+
 type t = {
   proc : int;
   trace : Trace.t;
   sh : shared;
+  ring_mask : int;
+      (* ring capacity - 1; capacity is the next power of two >= cfg.window
+         so the per-slot index reduction is a mask, not a division (the
+         issue scan does it billions of times). Any window-length index
+         range still maps to distinct slots. *)
+  line_shift : int;  (* log2 cfg.line, or -1 when not a power of two *)
   l1 : Cache.t;
   l2 : Cache.t option;
   mshrs : (int, mshr_entry) Hashtbl.t;
+  (* min-heap of MSHR completion times, kept in sync with [mshrs]: every
+     allocation pushes (ready, line), cleanup pops expired entries, so no
+     per-cycle fold over the table is needed *)
+  mshr_expiry : int Pqueue.t;
+  mutable mshr_read_occ : int;  (* entries with [has_read] *)
   (* reorder buffer: ring over trace indices [head, tail) *)
   state : int array;  (* 0 = waiting, 1 = scheduled/completed *)
   done_at : int array;
   mutable head : int;
   mutable tail : int;
+  (* the unissued in-window instructions as a singly-linked list in trace
+     order ([pend_next] is indexed by slot): the issue scan visits only
+     instructions that can still issue instead of walking the whole
+     window past already-issued entries *)
+  mutable pend_head : int;  (* trace index, -1 = none *)
+  mutable pend_last : int;
+  pend_next : int array;
+  (* completion times of issued-but-unretired instructions; [done_at] is
+     written once per issued instruction and retirement requires
+     [done_at <= now], so entries with a time in the past are stale and
+     popped lazily — the heap minimum beyond [now] is exactly what the
+     old per-window scan in [next_event] computed *)
+  done_heap : unit Pqueue.t;
+  (* sleeping entries: blocked instructions whose earliest possible issue
+     cycle is known (their blocking dependence is issued with a future
+     [done_at], or is itself asleep until a known time). They are removed
+     from the pending list and re-merged when their wake time arrives, so
+     the per-cycle scan never revisits them. [sleep_until] is the per-slot
+     wake time (stale, <= now, when not sleeping). Wake times are always
+     [done_at] values of issued-unretired instructions, so [next_event]'s
+     completion heap already bounds every wake — sleeping never lets the
+     event loop skip past a cycle where an instruction could issue. *)
+  wake_heap : int Pqueue.t;
+  sleep_until : int array;
   mutable branches : int;
   (* write buffer *)
   wpending : int Queue.t;
-  mutable winflight : int list;
+  winflight : unit Pqueue.t;  (* completion times of draining writes *)
+  wstalled : bool array;  (* per-slot: store already counted a wbuf-full stall *)
+  blocker : int array;
+      (* per-slot: a dependence token that failed [dep_done] the last time
+         the issue scan considered the slot, or -1. [dep_done] is monotone
+         in [now] and [head], so while the cached token is still pending
+         the whole (side-effect-free) issue check can be skipped. *)
+  has_barriers : bool;
+      (* every instruction kind except Barrier_op needs a functional unit
+         to issue, so barrier-free traces can stop the issue scan as soon
+         as all units are claimed *)
+  (* event-driven support: did the last [step] change simulation state
+     (as opposed to only accumulating per-cycle statistics)? *)
+  mutable progressed : bool;
+  fd : deltas;
+  mutable d_l1_miss : int;
+  mutable d_mshr_full : int;
   (* statistics *)
   bd : Breakdown.t;
   mutable l2_miss_count : int;
@@ -58,10 +121,21 @@ let make_shared cfg ~nprocs ~home =
 
 let create sh ~proc trace =
   let cfg = sh.cfg in
+  let cap =
+    let rec up n = if n >= cfg.Config.window then n else up (n * 2) in
+    up 1
+  in
   {
     proc;
     trace;
     sh;
+    ring_mask = cap - 1;
+    line_shift =
+      (let l = cfg.Config.line in
+       if l > 0 && l land (l - 1) = 0 then
+         let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+         log2 l 0
+       else -1);
     l1 = Cache.create ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
         ~line:cfg.Config.line;
     l2 =
@@ -70,13 +144,36 @@ let create sh ~proc trace =
           Cache.create ~bytes ~assoc:cfg.Config.l2_assoc ~line:cfg.Config.line)
         cfg.Config.l2_bytes;
     mshrs = Hashtbl.create 32;
-    state = Array.make cfg.Config.window 0;
-    done_at = Array.make cfg.Config.window 0;
+    mshr_expiry = Pqueue.create ();
+    mshr_read_occ = 0;
+    state = Array.make cap 0;
+    done_at = Array.make cap 0;
     head = 0;
     tail = 0;
+    pend_head = -1;
+    pend_last = -1;
+    pend_next = Array.make cap (-1);
+    done_heap = Pqueue.create ();
+    wake_heap = Pqueue.create ();
+    sleep_until = Array.make cap (-1);
     branches = 0;
     wpending = Queue.create ();
-    winflight = [];
+    winflight = Pqueue.create ();
+    wstalled = Array.make cap false;
+    blocker = Array.make cap (-1);
+    has_barriers =
+      (let n = Trace.length trace in
+       let rec scan i =
+         i < n
+         && (match Trace.kind trace i with
+            | Trace.Barrier_op -> true
+            | _ -> scan (i + 1))
+       in
+       scan 0);
+    progressed = false;
+    fd = { d_busy = 0.0; d_cpu_stall = 0.0; d_data_stall = 0.0; d_sync_stall = 0.0 };
+    d_l1_miss = 0;
+    d_mshr_full = 0;
     bd = Breakdown.create ();
     l2_miss_count = 0;
     read_miss_count = 0;
@@ -90,9 +187,11 @@ let create sh ~proc trace =
     late_prefetch_count = 0;
   }
 
-let slot t i = i mod t.sh.cfg.Config.window
+let slot t i = i land t.ring_mask
 
-let line_of t addr = addr / t.sh.cfg.Config.line
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift
+  else addr / t.sh.cfg.Config.line
 
 let version t line =
   match Hashtbl.find_opt t.sh.versions line with
@@ -116,7 +215,10 @@ let access_read t ~now addr =
         t.late_prefetch_count <- t.late_prefetch_count + 1;
         e.prefetch_only <- false
       end;
-      e.has_read <- true;
+      if not e.has_read then begin
+        e.has_read <- true;
+        t.mshr_read_occ <- t.mshr_read_occ + 1
+      end;
       Some e.ready
   | None ->
       let v, w = version t line in
@@ -141,6 +243,8 @@ let access_read t ~now addr =
           let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
           Hashtbl.add t.mshrs line
             { ready; has_read = true; has_write = false; prefetch_only = false };
+          Pqueue.push t.mshr_expiry ready line;
+          t.mshr_read_occ <- t.mshr_read_occ + 1;
           Cache.fill t.l1 ~version:v ~addr;
           Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
           t.l2_miss_count <- t.l2_miss_count + 1;
@@ -188,6 +292,7 @@ let access_write t ~now addr =
         let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
         Hashtbl.add t.mshrs line
           { ready; has_read = false; has_write = true; prefetch_only = false };
+        Pqueue.push t.mshr_expiry ready line;
         commit ();
         Cache.fill t.l1 ~version:v' ~addr;
         Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
@@ -224,6 +329,7 @@ let access_prefetch t ~now addr =
         let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
         Hashtbl.add t.mshrs line
           { ready; has_read = false; has_write = false; prefetch_only = true };
+        Pqueue.push t.mshr_expiry ready line;
         Cache.fill t.l1 ~version:v ~addr;
         Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
         t.prefetch_miss_count <- t.prefetch_miss_count + 1
@@ -231,25 +337,45 @@ let access_prefetch t ~now addr =
 
 (* ------------------------------------------------------------------ *)
 
+(* [ready] is immutable after allocation, so the heap never holds stale
+   priorities: popping everything with [ready <= now] removes exactly the
+   entries the per-cycle fold over the table used to find. *)
 let cleanup_mshrs t ~now =
-  let expired =
-    Hashtbl.fold (fun line e acc -> if e.ready <= now then line :: acc else acc)
-      t.mshrs []
-  in
-  List.iter (Hashtbl.remove t.mshrs) expired
+  while Pqueue.min_prio t.mshr_expiry <= now do
+    let line = Pqueue.min_value t.mshr_expiry in
+    Pqueue.drop_min t.mshr_expiry;
+    (match Hashtbl.find_opt t.mshrs line with
+    | Some e ->
+        if e.has_read then t.mshr_read_occ <- t.mshr_read_occ - 1;
+        Hashtbl.remove t.mshrs line
+    | None -> ());
+    t.progressed <- true
+  done
 
 let drain_wbuf t ~now =
-  t.winflight <- List.filter (fun c -> c > now) t.winflight;
+  while Pqueue.min_prio t.winflight <= now do
+    Pqueue.drop_min t.winflight;
+    t.progressed <- true
+  done;
   if not (Queue.is_empty t.wpending) then begin
     let addr = Queue.peek t.wpending in
     match access_write t ~now addr with
     | Some completion ->
         ignore (Queue.pop t.wpending);
-        t.winflight <- completion :: t.winflight
+        Pqueue.push t.winflight completion ();
+        t.progressed <- true
     | None -> ()
   end
 
-let wbuf_occupancy t = Queue.length t.wpending + List.length t.winflight
+let wbuf_occupancy t = Queue.length t.wpending + Pqueue.length t.winflight
+
+(* [done_at] is written once per issued instruction and retirement
+   requires [done_at <= now], so heap entries at or before [now] can
+   never again be the "earliest future completion": drop them. *)
+let drain_done t ~now =
+  while Pqueue.min_prio t.done_heap <= now do
+    Pqueue.drop_min t.done_heap
+  done
 
 let barrier_satisfied t aux =
   let ok = ref true in
@@ -268,10 +394,16 @@ let retire t ~now =
     match Trace.kind t.trace i with
     | Trace.Barrier_op ->
         let b = Trace.aux t.trace i in
-        if t.sh.reached.(t.proc) < b then t.sh.reached.(t.proc) <- b;
+        if t.sh.reached.(t.proc) < b then begin
+          t.sh.reached.(t.proc) <- b;
+          (* shared state changed: other processors may now pass the
+             barrier, so this cycle cannot be skipped over *)
+          t.progressed <- true
+        end;
         if barrier_satisfied t b then begin
           t.head <- i + 1;
           t.retired_count <- t.retired_count + 1;
+          t.progressed <- true;
           incr r
         end
         else begin
@@ -282,6 +414,7 @@ let retire t ~now =
         if t.state.(s) = 1 && t.done_at.(s) <= now then begin
           t.head <- i + 1;
           t.retired_count <- t.retired_count + 1;
+          t.progressed <- true;
           incr r
         end
         else begin
@@ -307,79 +440,198 @@ let retire t ~now =
   end
 
 let dep_done t ~now d =
-  d < 0 || d < t.head || (t.state.(slot t d) = 1 && t.done_at.(slot t d) <= now)
+  d < 0 || d < t.head
+  ||
+  let s = slot t d in
+  t.state.(s) = 1 && t.done_at.(s) <= now
 
+(* Move every sleeper whose wake time has arrived back into the pending
+   list, preserving trace order (popped indices are sorted, then merged
+   into the — also sorted — list in one pass). From its wake cycle on, an
+   entry is re-examined every executed cycle exactly as if it had never
+   left the list. *)
+let wake_sleepers t ~now =
+  let batch = ref [] in
+  while Pqueue.min_prio t.wake_heap <= now do
+    let i = Pqueue.min_value t.wake_heap in
+    Pqueue.drop_min t.wake_heap;
+    if i >= t.head then batch := i :: !batch
+  done;
+  match !batch with
+  | [] -> ()
+  | b ->
+      let sorted = match b with [ _ ] -> b | _ -> List.sort_uniq compare b in
+      let prev = ref (-1) in
+      let cur = ref t.pend_head in
+      List.iter
+        (fun i ->
+          while !cur >= 0 && !cur < i do
+            prev := !cur;
+            cur := t.pend_next.(slot t !cur)
+          done;
+          if !cur <> i then begin
+            t.pend_next.(slot t i) <- !cur;
+            if !prev < 0 then t.pend_head <- i
+            else t.pend_next.(slot t !prev) <- i;
+            if !cur < 0 then t.pend_last <- i;
+            prev := i
+          end)
+        sorted
+
+(* [i] (slot [s]) is blocked on dependence [d], which just failed
+   [dep_done]. If [d] has a known earliest-completion time in the future
+   ([d] is issued, or itself asleep until then), [i] cannot issue before
+   that cycle either — [d]'s [done_at] is only assigned when it issues —
+   so park [i] until then. Returns true when [i] went to sleep. *)
+(* Sleeping is only worth its heap-and-merge overhead when the wait is
+   long (a memory-latency block); an instruction blocked a few cycles on
+   an ALU/FPU result is cheaper to re-check in place, so it stays in the
+   list. *)
+let sleep_horizon = 32
+
+let try_sleep t ~now i s d =
+  let sd = slot t d in
+  let w =
+    if t.state.(sd) = 1 then t.done_at.(sd) else t.sleep_until.(sd)
+  in
+  if w > now + sleep_horizon then begin
+    t.sleep_until.(s) <- w;
+    Pqueue.push t.wake_heap w i;
+    true
+  end
+  else false
+
+(* The scan walks the pending list — exactly the [state = 0] entries of
+   the old whole-window scan, in the same (trace) order; already-issued
+   entries were side-effect-free no-ops there, so skipping them changes
+   nothing, and skipped sleepers provably fail their dependence check
+   until they return. An instruction that issues is unlinked; an entry
+   whose trace index dropped below [head] is a barrier that retired
+   without issuing (the only kind that can); retirement is in-order, so
+   such entries form a prefix of the list and are dropped before the scan
+   — which also keeps [fetch]'s slot reuse from clobbering a live link. *)
 let issue t ~now =
+  while t.pend_head >= 0 && t.pend_head < t.head do
+    t.pend_head <- t.pend_next.(slot t t.pend_head)
+  done;
+  if t.pend_head < 0 then t.pend_last <- -1;
+  wake_sleepers t ~now;
   let cfg = t.sh.cfg in
+  let issue_width = cfg.Config.issue_width in
+  let alus = cfg.Config.alus
+  and fpus = cfg.Config.fpus
+  and addr_units = cfg.Config.addr_units in
+  let no_barriers = not t.has_barriers in
   let issued = ref 0 in
   let alu = ref 0 and fpu = ref 0 and mem_u = ref 0 in
-  let i = ref t.head in
-  while !i < t.tail && !issued < cfg.Config.issue_width do
-    let s = slot t !i in
-    if t.state.(s) = 0
-       && dep_done t ~now (Trace.dep1 t.trace !i)
-       && dep_done t ~now (Trace.dep2 t.trace !i)
-    then begin
-      (match Trace.kind t.trace !i with
-      | Trace.Int_op ->
-          if !alu < cfg.Config.alus then begin
-            incr alu;
-            t.state.(s) <- 1;
-            t.done_at.(s) <- now + 1;
-            incr issued
-          end
-      | Trace.Branch ->
-          if !alu < cfg.Config.alus then begin
-            incr alu;
-            t.state.(s) <- 1;
-            t.done_at.(s) <- now + 1;
-            t.branches <- max 0 (t.branches - 1);
-            incr issued
-          end
-      | Trace.Fp_op ->
-          if !fpu < cfg.Config.fpus then begin
-            incr fpu;
-            t.state.(s) <- 1;
-            t.done_at.(s) <- now + Trace.aux t.trace !i;
-            incr issued
-          end
-      | Trace.Load ->
-          if !mem_u < cfg.Config.addr_units then begin
-            match access_read t ~now (Trace.aux t.trace !i) with
-            | Some ready ->
-                incr mem_u;
-                t.state.(s) <- 1;
-                t.done_at.(s) <- ready;
-                incr issued
-            | None -> () (* MSHRs full: retry next cycle *)
-          end
-      | Trace.Store ->
-          if !mem_u < cfg.Config.addr_units
-             && wbuf_occupancy t >= cfg.Config.write_buffer
-          then t.wbuf_full_events <- t.wbuf_full_events + 1;
-          if !mem_u < cfg.Config.addr_units
-             && wbuf_occupancy t < cfg.Config.write_buffer
-          then begin
-            incr mem_u;
-            Queue.push (Trace.aux t.trace !i) t.wpending;
-            t.state.(s) <- 1;
-            t.done_at.(s) <- now;
-            incr issued
-          end
-      | Trace.Prefetch_op ->
-          if !mem_u < cfg.Config.addr_units then begin
-            incr mem_u;
-            access_prefetch t ~now (Trace.aux t.trace !i);
-            t.state.(s) <- 1;
-            t.done_at.(s) <- now;
-            incr issued
-          end
-      | Trace.Barrier_op ->
-          t.state.(s) <- 1;
-          t.done_at.(s) <- now);
-      ()
-    end;
-    incr i
+  let mark_issued s =
+    t.state.(s) <- 1;
+    t.progressed <- true;
+    (* completion feeds [next_event]; stale entries are drained in [step] *)
+    Pqueue.push t.done_heap t.done_at.(s) ();
+    incr issued
+  in
+  let prev = ref (-1) in
+  let cur = ref t.pend_head in
+  while
+    !cur >= 0
+    && !issued < issue_width
+    && not (no_barriers && !alu >= alus && !fpu >= fpus && !mem_u >= addr_units)
+  do
+    let i = !cur in
+    let s = slot t i in
+    let next = t.pend_next.(s) in
+    let before = !issued in
+    let remove = ref false in
+    (* [dep_done] is monotone, so an instruction whose cached blocking
+       dependence is still pending cannot issue; skip it with a single
+       check (everything skipped is side-effect-free) *)
+    let b = t.blocker.(s) in
+    (if b >= 0 && not (dep_done t ~now b) then
+       (if try_sleep t ~now i s b then remove := true)
+     else begin
+       if b >= 0 then t.blocker.(s) <- -1;
+       (* check the (cheap) functional-unit constraint before the
+          dependence lookups: a unit-starved kind can never issue,
+          whatever its dependences, and none of these checks has side
+          effects *)
+       let kind = Trace.kind t.trace i in
+       let unit_free =
+         match kind with
+         | Trace.Int_op | Trace.Branch -> !alu < alus
+         | Trace.Fp_op -> !fpu < fpus
+         | Trace.Load | Trace.Store | Trace.Prefetch_op -> !mem_u < addr_units
+         | Trace.Barrier_op -> true
+       in
+       if unit_free then begin
+         let d1 = Trace.dep1 t.trace i in
+         if not (dep_done t ~now d1) then begin
+           t.blocker.(s) <- d1;
+           if try_sleep t ~now i s d1 then remove := true
+         end
+         else
+           let d2 = Trace.dep2 t.trace i in
+           if not (dep_done t ~now d2) then begin
+             t.blocker.(s) <- d2;
+             if try_sleep t ~now i s d2 then remove := true
+           end
+           else
+             match kind with
+             | Trace.Int_op ->
+                 incr alu;
+                 t.done_at.(s) <- now + 1;
+                 mark_issued s
+             | Trace.Branch ->
+                 incr alu;
+                 t.done_at.(s) <- now + 1;
+                 t.branches <- max 0 (t.branches - 1);
+                 mark_issued s
+             | Trace.Fp_op ->
+                 incr fpu;
+                 t.done_at.(s) <- now + Trace.aux t.trace i;
+                 mark_issued s
+             | Trace.Load -> (
+                 match access_read t ~now (Trace.aux t.trace i) with
+                 | Some ready ->
+                     incr mem_u;
+                     t.done_at.(s) <- ready;
+                     mark_issued s
+                 | None -> () (* MSHRs full: retry next cycle *))
+             | Trace.Store ->
+                 if wbuf_occupancy t >= cfg.Config.write_buffer then begin
+                   (* count each store that stalls on a full write buffer
+                      once, not once per retry cycle *)
+                   if not t.wstalled.(s) then begin
+                     t.wstalled.(s) <- true;
+                     t.wbuf_full_events <- t.wbuf_full_events + 1
+                   end
+                 end
+                 else begin
+                   incr mem_u;
+                   Queue.push (Trace.aux t.trace i) t.wpending;
+                   t.done_at.(s) <- now;
+                   mark_issued s
+                 end
+             | Trace.Prefetch_op ->
+                 incr mem_u;
+                 access_prefetch t ~now (Trace.aux t.trace i);
+                 t.done_at.(s) <- now;
+                 mark_issued s
+             | Trace.Barrier_op ->
+                 t.done_at.(s) <- now;
+                 t.state.(s) <- 1;
+                 t.progressed <- true;
+                 remove := true
+       end
+     end);
+    if !issued > before then remove := true;
+    if !remove then begin
+      if !prev < 0 then t.pend_head <- next
+      else t.pend_next.(slot t !prev) <- next;
+      if next < 0 then t.pend_last <- !prev
+    end
+    else prev := i;
+    cur := next
   done
 
 let fetch t =
@@ -395,29 +647,90 @@ let fetch t =
     let s = slot t t.tail in
     t.state.(s) <- 0;
     t.done_at.(s) <- 0;
+    t.wstalled.(s) <- false;
+    t.blocker.(s) <- -1;
+    t.sleep_until.(s) <- -1;
+    (* append to the pending list; [issue] ran earlier this cycle and
+       dropped every retired entry, so no live link uses this slot *)
+    t.pend_next.(s) <- -1;
+    if t.pend_last < 0 then t.pend_head <- t.tail
+    else t.pend_next.(slot t t.pend_last) <- t.tail;
+    t.pend_last <- t.tail;
     (match Trace.kind t.trace t.tail with
     | Trace.Branch -> t.branches <- t.branches + 1
     | _ -> ());
     t.tail <- t.tail + 1;
+    t.progressed <- true;
     incr fetched
   done
 
 let finished t =
   t.head >= Trace.length t.trace
   && Queue.is_empty t.wpending
-  && t.winflight = []
+  && Pqueue.is_empty t.winflight
 
 let step t ~now =
+  t.progressed <- false;
+  let busy0 = t.bd.Breakdown.busy
+  and cpu0 = t.bd.Breakdown.cpu_stall
+  and data0 = t.bd.Breakdown.data_stall
+  and sync0 = t.bd.Breakdown.sync_stall
+  and l1m0 = t.l1_miss_count
+  and mf0 = t.mshr_full_events in
   cleanup_mshrs t ~now;
+  drain_done t ~now;
   drain_wbuf t ~now;
   if t.head < Trace.length t.trace then retire t ~now;
   issue t ~now;
-  fetch t
+  fetch t;
+  t.fd.d_busy <- t.bd.Breakdown.busy -. busy0;
+  t.fd.d_cpu_stall <- t.bd.Breakdown.cpu_stall -. cpu0;
+  t.fd.d_data_stall <- t.bd.Breakdown.data_stall -. data0;
+  t.fd.d_sync_stall <- t.bd.Breakdown.sync_stall -. sync0;
+  t.d_l1_miss <- t.l1_miss_count - l1m0;
+  t.d_mshr_full <- t.mshr_full_events - mf0
+
+let progressed t = t.progressed
+
+(* A step with no progress leaves the core in a fixed point: every
+   subsequent cycle up to (but excluding) the next completion event
+   re-runs the identical step, whose only effects are the per-cycle
+   statistic deltas recorded above. In a no-progress step those deltas
+   are exact small-integer-valued floats (a stall category gets +1.0,
+   busy +0.0), so multiplying instead of re-adding is bit-identical. *)
+let replay_idle t ~times =
+  if times > 0 then begin
+    let k = float_of_int times in
+    t.bd.Breakdown.busy <- t.bd.Breakdown.busy +. (t.fd.d_busy *. k);
+    t.bd.Breakdown.cpu_stall <-
+      t.bd.Breakdown.cpu_stall +. (t.fd.d_cpu_stall *. k);
+    t.bd.Breakdown.data_stall <-
+      t.bd.Breakdown.data_stall +. (t.fd.d_data_stall *. k);
+    t.bd.Breakdown.sync_stall <-
+      t.bd.Breakdown.sync_stall +. (t.fd.d_sync_stall *. k);
+    t.l1_miss_count <- t.l1_miss_count + (t.d_l1_miss * times);
+    t.mshr_full_events <- t.mshr_full_events + (t.d_mshr_full * times)
+  end
+
+(* Earliest future time any [<= now] comparison inside [step] can flip:
+   an MSHR completing, a buffered write draining, or an issued
+   instruction's result becoming available (which can unblock retire and
+   dependent issues). Barrier release is not a timed event — it is
+   triggered by another core's progress, which the machine loop observes
+   directly. *)
+let next_event t ~now =
+  let ne = ref max_int in
+  let consider at = if at > now && at < !ne then ne := at in
+  consider (Pqueue.min_prio t.mshr_expiry);
+  consider (Pqueue.min_prio t.winflight);
+  (* stale minima would hide the real next completion behind them *)
+  drain_done t ~now;
+  consider (Pqueue.min_prio t.done_heap);
+  if !ne = max_int then None else Some !ne
 
 let breakdown t = t.bd
 
-let mshr_read_occupancy t =
-  Hashtbl.fold (fun _ e acc -> if e.has_read then acc + 1 else acc) t.mshrs 0
+let mshr_read_occupancy t = t.mshr_read_occ
 
 let mshr_total_occupancy t = Hashtbl.length t.mshrs
 

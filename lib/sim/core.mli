@@ -28,7 +28,32 @@ val create : shared -> proc:int -> Trace.t -> t
 
 val step : t -> now:int -> unit
 (** One cycle: MSHR cleanup, write-buffer drain, retire (with stall
-    attribution), issue, fetch. *)
+    attribution), issue, fetch. Also records whether the cycle made
+    progress (see {!progressed}) and the per-cycle statistic deltas
+    needed by {!replay_idle}. *)
+
+val progressed : t -> bool
+(** Whether the last {!step} changed simulation state — retired, issued
+    or fetched an instruction, drained or launched a memory operation,
+    or advanced the shared barrier state — as opposed to only
+    accumulating per-cycle statistics (stall attribution, retry
+    counters). A no-progress step is a fixed point: re-running it at any
+    cycle before {!next_event} produces identical effects. *)
+
+val next_event : t -> now:int -> int option
+(** Earliest cycle strictly after [now] at which this core's behaviour
+    can change on its own: the minimum over pending MSHR completions,
+    draining write completions, and in-window issued instructions'
+    completion times. [None] when nothing is pending (the core is either
+    finished or waiting on another processor's barrier arrival). *)
+
+val replay_idle : t -> times:int -> unit
+(** Repeat the per-cycle statistic side effects of the last (no-progress)
+    {!step} [times] more times: stall-category attribution and the
+    per-cycle L1-miss / MSHR-full retry counters. Used by the
+    event-driven machine loop to account for skipped stall cycles;
+    bit-identical to stepping cycle by cycle. Only meaningful when the
+    last step made no progress. *)
 
 val finished : t -> bool
 val breakdown : t -> Breakdown.t
@@ -53,6 +78,11 @@ val mshr_full_events : t -> int
 (** load-issue attempts rejected because all MSHRs were busy *)
 
 val wbuf_full_events : t -> int
+(** Stores whose issue was delayed by at least one cycle because the
+    write buffer (pending + in-flight writes) was full. Counted once per
+    stalled store instruction, when it is first rejected — retry cycles
+    of the same store do not count again, and a store that issues on its
+    first attempt never counts. *)
 
 val prefetches : t -> int
 (** prefetch hints issued *)

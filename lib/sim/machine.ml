@@ -23,7 +23,28 @@ type result = {
 
 let ns_per_cycle (cfg : Config.t) = 1000.0 /. float_of_int cfg.Config.clock_mhz
 
-let run ?(max_cycles = 400_000_000) (cfg : Config.t) ~home (lower : Lower.t) =
+type mode = Cycle | Event
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "cycle" -> Some Cycle
+  | "event" -> Some Event
+  | _ -> None
+
+let default_mode () =
+  match Sys.getenv_opt "MEMCLUST_SIM_MODE" with
+  | None -> Event
+  | Some s -> (
+      match mode_of_string s with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "MEMCLUST_SIM_MODE: expected \"cycle\" or \"event\", got %S" s))
+
+let run ?(max_cycles = 400_000_000) ?mode (cfg : Config.t) ~home
+    (lower : Lower.t) =
+  let mode = match mode with Some m -> m | None -> default_mode () in
   let nprocs = Array.length lower.Lower.traces in
   let sh = Core.make_shared cfg ~nprocs ~home in
   let procs =
@@ -38,9 +59,11 @@ let run ?(max_cycles = 400_000_000) (cfg : Config.t) ~home (lower : Lower.t) =
       failwith
         (Printf.sprintf "Machine.run: exceeded %d cycles (deadlock?)" max_cycles);
     running := false;
+    let any_progress = ref false in
     for p = 0 to nprocs - 1 do
       if not (Core.finished procs.(p)) then begin
         Core.step procs.(p) ~now:!cycle;
+        if Core.progressed procs.(p) then any_progress := true;
         if not (Core.finished procs.(p)) then running := true
       end
       else begin
@@ -51,7 +74,48 @@ let run ?(max_cycles = 400_000_000) (cfg : Config.t) ~home (lower : Lower.t) =
       Stats.Histogram.add read_hist (Core.mshr_read_occupancy procs.(p));
       Stats.Histogram.add total_hist (Core.mshr_total_occupancy procs.(p))
     done;
-    if !running then incr cycle
+    if !running then begin
+      match mode with
+      | Cycle -> incr cycle
+      | Event when !any_progress -> incr cycle
+      | Event -> (
+          (* No core changed state this cycle: every cycle up to the next
+             completion event repeats the exact same stalled step. Jump
+             there, replaying the per-cycle statistics (stall attribution,
+             retry counters, MSHR-occupancy samples) for the skipped
+             cycles so results stay bit-identical to the cycle loop. *)
+          let next = ref max_int in
+          for p = 0 to nprocs - 1 do
+            if not (Core.finished procs.(p)) then
+              match Core.next_event procs.(p) ~now:!cycle with
+              | Some e when e < !next -> next := e
+              | _ -> ()
+          done;
+          match !next with
+          | n when n = max_int ->
+              (* nothing pending anywhere: a genuine deadlock; trip the
+                 same guard the cycle loop eventually hits *)
+              cycle := max_cycles + 1
+          | n ->
+              let skip = n - !cycle - 1 in
+              if skip > 0 then begin
+                let w = float_of_int skip in
+                for p = 0 to nprocs - 1 do
+                  if Core.finished procs.(p) then begin
+                    let bd = Core.breakdown procs.(p) in
+                    bd.Breakdown.sync_stall <- bd.Breakdown.sync_stall +. w
+                  end
+                  else Core.replay_idle procs.(p) ~times:skip;
+                  Stats.Histogram.add_weighted read_hist
+                    (Core.mshr_read_occupancy procs.(p))
+                    w;
+                  Stats.Histogram.add_weighted total_hist
+                    (Core.mshr_total_occupancy procs.(p))
+                    w
+                done
+              end;
+              cycle := n)
+    end
   done;
   let cycles = !cycle + 1 in
   let per_proc = Array.map Core.breakdown procs in

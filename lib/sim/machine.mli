@@ -28,10 +28,32 @@ type result = {
   instructions : int;
 }
 
-val run : ?max_cycles:int -> Config.t -> home:(int -> int) -> Lower.t -> result
+type mode =
+  | Cycle  (** strict cycle-by-cycle loop (the reference semantics) *)
+  | Event
+      (** event-driven: when no core can retire, issue, fetch or drain,
+          jump [now] to the earliest pending completion event across all
+          processors, replaying per-cycle statistics for the skipped
+          cycles. Produces bit-identical {!result} values to {!Cycle}. *)
+
+val mode_of_string : string -> mode option
+(** Accepts ["cycle"] and ["event"] (case-insensitive). *)
+
+val default_mode : unit -> mode
+(** [Event], unless overridden by the [MEMCLUST_SIM_MODE] environment
+    variable (["cycle"] or ["event"]). Raises [Invalid_argument] on any
+    other value of the variable. *)
+
+val run :
+  ?max_cycles:int ->
+  ?mode:mode ->
+  Config.t ->
+  home:(int -> int) ->
+  Lower.t ->
+  result
 (** Simulate the traces to completion. [home] maps byte addresses to their
-    home node. Raises [Failure] if [max_cycles] (default 400 million) is
-    exceeded — a deadlock guard. *)
+    home node. [mode] defaults to {!default_mode} (). Raises [Failure] if
+    [max_cycles] (default 400 million) is exceeded — a deadlock guard. *)
 
 val ns_per_cycle : Config.t -> float
 

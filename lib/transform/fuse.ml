@@ -55,7 +55,7 @@ let write_first stmts v =
   !first = Some `Write
 
 (* unique rename stamp per invocation; see Unroll_jam *)
-let stamp_counter = ref 0
+let stamp_counter = Atomic.make 0 (* domain-safe: experiments transform in parallel *)
 
 let apply ?(params = []) ?(outer_ranges = []) (l1 : loop) (l2 : loop) =
   (* align the second loop onto the first's variable *)
@@ -86,8 +86,7 @@ let apply ?(params = []) ?(outer_ranges = []) (l1 : loop) (l2 : loop) =
             (Legality.fusion_legal ~params ~outer_ranges ~var:l1.var l1 l2)
         then Error (Illegal "a dependence points backwards across the fusion")
         else begin
-          incr stamp_counter;
-          let stamp = !stamp_counter in
+          let stamp = Atomic.fetch_and_add stamp_counter 1 + 1 in
           let body2 =
             if shared = [] then l2.body
             else

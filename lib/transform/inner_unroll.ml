@@ -58,7 +58,7 @@ let const_bounds ~params (l : loop) =
   | exception Exit -> None
 
 (* unique rename stamp per invocation; see Unroll_jam *)
-let stamp_counter = ref 0
+let stamp_counter = Atomic.make 0 (* domain-safe: experiments transform in parallel *)
 
 let apply ?(params = []) ~factor (l : loop) =
   if factor <= 1 then Ok [ Loop l ]
@@ -71,8 +71,7 @@ let apply ?(params = []) ~factor (l : loop) =
         if count < factor then Error "fewer iterations than the unroll factor"
         else begin
           let to_rename = privatizable_scalars l.body in
-          incr stamp_counter;
-          let stamp = !stamp_counter in
+          let stamp = Atomic.fetch_and_add stamp_counter 1 + 1 in
           let body =
             List.concat
               (List.init factor (fun k ->

@@ -174,7 +174,7 @@ let const_bounds ~params (l : loop) =
    passes over already-transformed code (an outer unroll-and-jam after an
    inner one) can never collide: "wr" -> "wr__u3_1" never equals an
    earlier pass's "wr__u2_1". *)
-let stamp_counter = ref 0
+let stamp_counter = Atomic.make 0 (* domain-safe: experiments transform in parallel *)
 
 let apply ?(params = []) ?(outer_ranges = []) ?(interchange_postlude = true)
     ~factor (l : loop) =
@@ -199,8 +199,7 @@ let apply ?(params = []) ?(outer_ranges = []) ?(interchange_postlude = true)
             List.sort_uniq String.compare
               (Program.scalars_written l.body @ chase_cvars l.body)
           in
-          incr stamp_counter;
-          let stamp = !stamp_counter in
+          let stamp = Atomic.fetch_and_add stamp_counter 1 + 1 in
           let copy k =
             let shift st = Subst.shift_var l.var (k * s) st in
             let rename st =

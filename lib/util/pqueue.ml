@@ -74,3 +74,18 @@ let pop t =
   end
 
 let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let min_prio t = if t.size = 0 then max_int else t.data.(0).prio
+
+let min_value t =
+  if t.size = 0 then invalid_arg "Pqueue.min_value: empty";
+  t.data.(0).value
+
+let drop_min t =
+  if t.size > 0 then begin
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end
+  end

@@ -14,3 +14,17 @@ val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum element, or [None] when empty. *)
 
 val peek : 'a t -> (int * 'a) option
+
+(** {2 Non-allocating accessors}
+
+    [peek]/[pop] box their result; the simulator polls its heaps every
+    executed cycle, so the hot paths use these instead. *)
+
+val min_prio : 'a t -> int
+(** Priority of the minimum element, or [max_int] when empty. *)
+
+val min_value : 'a t -> 'a
+(** Value of the minimum element. Raises [Invalid_argument] when empty. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum element; no-op when empty. *)

@@ -415,7 +415,8 @@ let test_exec_prefetch_hint () =
   in
   let hints = ref [] in
   let emit =
-    { Exec.null_emitter with e_prefetch = (fun ~ref_id:_ ~addr _ -> hints := addr :: !hints) }
+    { Exec.null_emitter with
+      e_prefetch = (fun ~ref_id:_ ~addr _ _ -> hints := addr :: !hints) }
   in
   let d = Data.create p in
   Exec.run ~emit p d;

@@ -293,6 +293,170 @@ let test_prefetch_never_stalls_retire () =
   Alcotest.(check bool) "drops under pressure" true (r.Machine.prefetch_misses <= 10)
 
 
+(* ----------------- Event-mode / cycle-mode equivalence --------------- *)
+
+(* The event-driven loop claims bit-identical results to the reference
+   cycle loop — so every comparison below is exact (epsilon 0). *)
+
+let check_breakdown name (a : Breakdown.t) (b : Breakdown.t) =
+  Alcotest.(check (float 0.0)) (name ^ ": busy") a.Breakdown.busy b.Breakdown.busy;
+  Alcotest.(check (float 0.0))
+    (name ^ ": cpu_stall") a.Breakdown.cpu_stall b.Breakdown.cpu_stall;
+  Alcotest.(check (float 0.0))
+    (name ^ ": data_stall") a.Breakdown.data_stall b.Breakdown.data_stall;
+  Alcotest.(check (float 0.0))
+    (name ^ ": sync_stall") a.Breakdown.sync_stall b.Breakdown.sync_stall
+
+let check_hist name a b =
+  let open Memclust_util in
+  Alcotest.(check (float 0.0))
+    (name ^ ": total") (Stats.Histogram.total a) (Stats.Histogram.total b);
+  for k = 0 to 64 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "%s: fraction >= %d" name k)
+      (Stats.Histogram.fraction_at_least a k)
+      (Stats.Histogram.fraction_at_least b k)
+  done
+
+let check_results_equal (a : Machine.result) (b : Machine.result) =
+  Alcotest.(check int) "cycles" a.Machine.cycles b.Machine.cycles;
+  Alcotest.(check int) "instructions" a.Machine.instructions b.Machine.instructions;
+  Alcotest.(check int) "l2_misses" a.Machine.l2_misses b.Machine.l2_misses;
+  Alcotest.(check int) "read_misses" a.Machine.read_misses b.Machine.read_misses;
+  Alcotest.(check int) "l1_misses" a.Machine.l1_misses b.Machine.l1_misses;
+  Alcotest.(check int) "mshr_full_events" a.Machine.mshr_full_events
+    b.Machine.mshr_full_events;
+  Alcotest.(check int) "wbuf_full_events" a.Machine.wbuf_full_events
+    b.Machine.wbuf_full_events;
+  Alcotest.(check int) "prefetches" a.Machine.prefetches b.Machine.prefetches;
+  Alcotest.(check int) "prefetch_misses" a.Machine.prefetch_misses
+    b.Machine.prefetch_misses;
+  Alcotest.(check int) "late_prefetches" a.Machine.late_prefetches
+    b.Machine.late_prefetches;
+  Alcotest.(check (float 0.0)) "avg_read_miss_latency"
+    a.Machine.avg_read_miss_latency b.Machine.avg_read_miss_latency;
+  Alcotest.(check (float 0.0)) "bus_utilization" a.Machine.bus_utilization
+    b.Machine.bus_utilization;
+  Alcotest.(check (float 0.0)) "bank_utilization" a.Machine.bank_utilization
+    b.Machine.bank_utilization;
+  check_breakdown "breakdown" a.Machine.breakdown b.Machine.breakdown;
+  Alcotest.(check int) "nprocs"
+    (Array.length a.Machine.per_proc) (Array.length b.Machine.per_proc);
+  Array.iteri
+    (fun i bd -> check_breakdown (Printf.sprintf "proc %d" i) bd b.Machine.per_proc.(i))
+    a.Machine.per_proc;
+  check_hist "read_mshr_hist" a.Machine.read_mshr_hist b.Machine.read_mshr_hist;
+  check_hist "total_mshr_hist" a.Machine.total_mshr_hist b.Machine.total_mshr_hist
+
+(* traces are rebuilt per run: a Trace.t is read-only to the simulator,
+   but rebuilding keeps the two runs fully independent *)
+let run_mode mode traces barriers =
+  let lowered =
+    { Lower.traces = Array.of_list (List.map mk_trace traces); barriers }
+  in
+  Machine.run ~mode Config.base ~home:(fun _ -> 0) lowered
+
+let equivalence_scenarios =
+  [
+    ("single miss", [ [ (Trace.Load, 0x40000, -1, -1) ] ], 0);
+    ( "independent misses",
+      [ List.init 8 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) ],
+      0 );
+    ( "dependent misses",
+      [ List.init 4 (fun i -> (Trace.Load, 0x40000 + (i * 64), i - 1, -1)) ],
+      0 );
+    ( "mshr pressure",
+      [ List.init 20 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) ],
+      0 );
+    ( "store burst",
+      [ List.init 24 (fun i -> (Trace.Store, 0x40000 + (i * 64), -1, -1)) ],
+      0 );
+    ( "store then work",
+      [
+        (Trace.Store, 0x40000, -1, -1)
+        :: List.init 40 (fun _ -> (Trace.Int_op, 1, -1, -1));
+      ],
+      0 );
+    ( "window limit",
+      [
+        ((Trace.Load, 0x40000, -1, -1)
+         :: List.init 100 (fun _ -> (Trace.Int_op, 1, -1, -1)))
+        @ [ (Trace.Load, 0x50000, 100, -1) ];
+      ],
+      0 );
+    ( "prefetch chain",
+      [
+        ((Trace.Prefetch_op, 0x40000, -1, -1)
+         :: List.init 100 (fun i -> (Trace.Int_op, 1, i, -1)))
+        @ [ (Trace.Load, 0x40000, 100, -1) ];
+      ],
+      0 );
+    ( "two procs + barrier",
+      [
+        [ (Trace.Int_op, 1, -1, -1); (Trace.Barrier_op, 1, -1, -1) ];
+        [
+          (Trace.Load, 0x40000, -1, -1);
+          (Trace.Load, 0x50000, 0, -1);
+          (Trace.Barrier_op, 1, -1, -1);
+        ];
+      ],
+      1 );
+    ( "uneven procs, two barriers",
+      [
+        List.init 3 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1))
+        @ [ (Trace.Barrier_op, 1, -1, -1); (Trace.Load, 0x70000, -1, -1);
+            (Trace.Barrier_op, 2, -1, -1) ];
+        [ (Trace.Barrier_op, 1, -1, -1); (Trace.Barrier_op, 2, -1, -1) ];
+        [ (Trace.Load, 0x80000, -1, -1); (Trace.Barrier_op, 1, -1, -1);
+          (Trace.Barrier_op, 2, -1, -1) ];
+      ],
+      2 );
+  ]
+
+let test_event_equals_cycle_hand () =
+  List.iter
+    (fun (name, traces, barriers) ->
+      let rc = run_mode Machine.Cycle traces barriers in
+      let re = run_mode Machine.Event traces barriers in
+      Alcotest.(check pass) name () ();
+      check_results_equal rc re)
+    equivalence_scenarios
+
+(* random whole programs, lowered and simulated in both modes *)
+let run_program_mode mode (c : Gen_program.cfg) =
+  let p = Gen_program.build c in
+  let data = Memclust_ir.Data.create p in
+  Gen_program.init c data;
+  let lowered = Lower.build ~nprocs:1 p data in
+  Machine.run ~mode Config.base ~home:(fun _ -> 0) lowered
+
+let prop_event_equals_cycle =
+  QCheck.Test.make ~count:200 ~name:"event mode ≡ cycle mode (random programs)"
+    Gen_program.arbitrary (fun c ->
+      let rc = run_program_mode Machine.Cycle c in
+      let re = run_program_mode Machine.Event c in
+      check_results_equal rc re;
+      true)
+
+let prop_event_deterministic =
+  QCheck.Test.make ~count:50 ~name:"event mode deterministic (same cfg twice)"
+    Gen_program.arbitrary (fun c ->
+      let r1 = run_program_mode Machine.Event c in
+      let r2 = run_program_mode Machine.Event c in
+      check_results_equal r1 r2;
+      true)
+
+let test_deadlock_guard_event () =
+  let loads = List.init 4 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1)) in
+  let lowered = { Lower.traces = [| mk_trace loads |]; barriers = 0 } in
+  Alcotest.(check bool) "event mode also raises on tiny budget" true
+    (try
+       ignore
+         (Machine.run ~max_cycles:3 ~mode:Machine.Event Config.base
+            ~home:(fun _ -> 0) lowered);
+       false
+     with Failure _ -> true)
+
 let test_simulation_deterministic () =
   let loads = List.init 16 (fun i -> (Trace.Load, 0x40000 + (i * 48), (if i mod 3 = 0 then -1 else i - 1), -1)) in
   let r1 = run_single loads in
@@ -337,6 +501,15 @@ let () =
         ] );
       ( "determinism",
         [ Alcotest.test_case "repeatable" `Quick test_simulation_deterministic ] );
+      ( "event-mode",
+        [
+          Alcotest.test_case "hand traces, both modes" `Quick
+            test_event_equals_cycle_hand;
+          Alcotest.test_case "deadlock guard in event mode" `Quick
+            test_deadlock_guard_event;
+          QCheck_alcotest.to_alcotest prop_event_equals_cycle;
+          QCheck_alcotest.to_alcotest prop_event_deterministic;
+        ] );
       ( "prefetch",
         [
           Alcotest.test_case "hides latency" `Quick test_prefetch_hides_latency;
