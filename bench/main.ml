@@ -49,6 +49,42 @@ let run_experiments ids =
     (Memclust_util.Domain_pool.size (Memclust_util.Domain_pool.default ()))
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: per-pass transformation time                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall time each pipeline pass spends on each workload, straight from
+   the pass manager's instrumentation trace — the transformation-side
+   complement to the microbenchmarks below. *)
+let run_pass_times () =
+  let ws = Registry.latbench () :: Registry.applications () in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let machine =
+          {
+            (Experiment.machine_of_config Config.base) with
+            Machine_model.max_procs = max 1 w.Workload.mp_procs;
+          }
+        in
+        let options = { Driver.default_options with machine } in
+        let _, report =
+          Driver.run ~options ~init:w.Workload.init w.Workload.program
+        in
+        let t = report.Driver.trace in
+        w.Workload.name
+        :: List.map
+             (fun (e : Pass.Pipeline.entry) ->
+               if e.Pass.Pipeline.ran then
+                 Memclust_util.Table.fmt_float e.Pass.Pipeline.wall_ms
+               else "-")
+             t.Pass.Pipeline.entries)
+      ws
+  in
+  Printf.printf "==== per-pass transformation time (ms) ====\n";
+  Memclust_util.Table.print ~header:("workload" :: Driver.pass_names) rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: pipeline microbenchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -179,6 +215,8 @@ let () =
   match args with
   | [] ->
       run_experiments Figures.all_ids;
+      run_pass_times ();
       run_micro ()
   | [ "micro" ] -> run_micro ()
+  | [ "passes" ] -> run_pass_times ()
   | ids -> run_experiments ids

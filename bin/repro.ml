@@ -4,7 +4,9 @@
      list                      — list experiments and workloads
      experiment <id> [...]     — reproduce a table/figure by id
      run <workload>            — base-vs-clustered on one workload
-     show <workload>           — print base and transformed IR *)
+     show <workload>           — print base and transformed IR
+     analyze <workload>        — locality / dependence / f analyses
+     trace [<workload>..]      — per-pass pipeline instrumentation *)
 
 open Cmdliner
 open Memclust_ir
@@ -149,19 +151,113 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ workload_arg)
 
+let machine_for (w : Workload.t) =
+  {
+    (Experiment.machine_of_config Config.base) with
+    Memclust_cluster.Machine_model.max_procs = max 1 w.Workload.mp_procs;
+  }
+
+let passes_arg =
+  let doc =
+    "Comma-separated pass names to run instead of the default pipeline \
+     (see `repro trace` output for the registered names); uniquify is \
+     always included."
+  in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' string)) None
+    & info [ "passes" ] ~docv:"PASS,.." ~doc)
+
 let show_cmd =
   let doc = "Print a workload's IR before and after clustering." in
-  let run name =
+  let run name only =
     let w = lookup name in
     Format.printf "==== %s: base ====@.%a@.@." w.Workload.name Pretty.pp_program
       w.Workload.program;
-    let p, report = Experiment.transform Config.base w in
-    Format.printf "==== clustering decisions ====@.%a@.@."
-      Memclust_cluster.Driver.pp_report report;
+    let open Memclust_cluster in
+    let options = { Driver.default_options with Driver.machine = machine_for w } in
+    let p, report =
+      Driver.run ~options ~init:w.Workload.init ?only w.Workload.program
+    in
+    Format.printf "==== clustering decisions ====@.%a@.@." Driver.pp_report
+      report;
     Format.printf "==== %s: clustered ====@.%a@." w.Workload.name
       Pretty.pp_program p
   in
-  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ workload_arg)
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ workload_arg $ passes_arg)
+
+let trace_cmd =
+  let doc =
+    "Run the clustering pipeline on workloads and report the per-pass \
+     instrumentation trace (wall time, IR-size delta, f/alpha summaries)."
+  in
+  let workloads_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD")
+  in
+  let dump_after_arg =
+    let doc = "Print the IR as it leaves pass $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dump-after" ] ~docv:"PASS" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the traces as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+  in
+  let run names only dump_after json_file =
+    let open Memclust_cluster in
+    let check_pass n =
+      if not (List.mem n Driver.pass_names) then begin
+        Printf.eprintf "unknown pass %s (have: %s)\n" n
+          (String.concat ", " Driver.pass_names);
+        exit 1
+      end
+    in
+    Option.iter (List.iter check_pass) only;
+    Option.iter check_pass dump_after;
+    let ws =
+      match names with
+      | [] -> Registry.latbench () :: Registry.applications ()
+      | names -> List.map lookup names
+    in
+    let traces =
+      List.map
+        (fun (w : Workload.t) ->
+          let options =
+            { Driver.default_options with Driver.machine = machine_for w }
+          in
+          let observe =
+            Option.map
+              (fun target pass p ->
+                if String.equal pass target then
+                  Format.printf "==== %s: IR after %s ====@.%a@.@."
+                    w.Workload.name pass Pretty.pp_program p)
+              dump_after
+          in
+          let _, report =
+            Driver.run ~options ~init:w.Workload.init ?only ?observe
+              w.Workload.program
+          in
+          Format.printf "%a@." Pass.Pipeline.pp_trace report.Driver.trace;
+          report.Driver.trace)
+        ws
+    in
+    match json_file with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc "[\n";
+        List.iteri
+          (fun i t ->
+            if i > 0 then output_string oc ",\n";
+            output_string oc (Pass.Pipeline.trace_to_json t))
+          traces;
+        output_string oc "\n]\n";
+        close_out oc;
+        Printf.printf "wrote %s (%d trace%s)\n" file (List.length traces)
+          (if List.length traces = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run $ workloads_arg $ passes_arg $ dump_after_arg $ json_arg)
 
 let () =
   let doc =
@@ -171,4 +267,5 @@ let () =
   let info = Cmd.info "repro" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; experiment_cmd; run_cmd; show_cmd; analyze_cmd ]))
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; run_cmd; show_cmd; analyze_cmd; trace_cmd ]))

@@ -4,7 +4,9 @@ open Memclust_depgraph
 open Memclust_transform
 open Ast
 
-type action =
+(* Re-exported so existing callers keep their [Driver.Unroll_jam],
+   [Driver.default_options] spellings. *)
+type action = Pass.action =
   | Unroll_jam of {
       target_var : string;
       factor : int;
@@ -15,6 +17,23 @@ type action =
   | Inner_unroll of { inner_var : string; factor : int }
   | Rejected of { target_var : string; reason : string }
 
+type scheduler = Pass.scheduler = Pack_misses | Balanced | No_schedule
+
+type options = Pass.options = {
+  machine : Machine_model.t;
+  profile_pm : bool;
+  do_unroll_jam : bool;
+  do_window : bool;
+  do_scalar_replace : bool;
+  do_schedule : bool;
+  scheduler : scheduler;
+  do_fuse : bool;
+  do_strip_mine : bool;
+  do_prefetch : bool;
+}
+
+let default_options = Pass.default_options
+
 type nest_report = {
   nest_index : int;
   inner_desc : string;
@@ -23,74 +42,19 @@ type nest_report = {
   actions : action list;
 }
 
-type report = { nests : nest_report list; scalar_replaced : int }
-
-type scheduler = Pack_misses | Balanced | No_schedule
-
-type options = {
-  machine : Machine_model.t;
-  profile_pm : bool;
-  do_unroll_jam : bool;
-  do_window : bool;
-  do_scalar_replace : bool;
-  do_schedule : bool;
-  scheduler : scheduler;
+type report = {
+  nests : nest_report list;
+  scalar_replaced : int;
+  trace : Pass.Pipeline.trace;
 }
 
-let default_options =
-  {
-    machine = Machine_model.base;
-    profile_pm = true;
-    do_unroll_jam = true;
-    do_window = true;
-    do_scalar_replace = true;
-    do_schedule = true;
-    scheduler = Pack_misses;
-  }
-
 (* ------------------------------------------------------------------ *)
-(* Locating the innermost loop-like construct of a nest                *)
+(* Uniquify: rename loop variables so every counted loop is unique      *)
 (* ------------------------------------------------------------------ *)
 
-type located = { inner : Depgraph.inner; enclosing : loop list }
-
-let inner_desc = function
-  | Depgraph.Counted l -> l.var
-  | Depgraph.Chased c -> c.cvar
-
-(* All innermost loop-like constructs under [l], each with its enclosing
-   counted loops (outermost first). A loop directly containing a chase is
-   not itself innermost — the chase is. *)
-let locate_all (nest : loop) : located list =
-  let acc = ref [] in
-  let rec walk path (l : loop) =
-    let nested =
-      List.filter_map
-        (function Loop l' -> Some (`L l') | Chase c -> Some (`C c) | _ -> None)
-        l.body
-    in
-    if nested = [] then acc := { inner = Depgraph.Counted l; enclosing = path } :: !acc
-    else
-      List.iter
-        (function
-          | `L l' -> walk (path @ [ l ]) l'
-          | `C c ->
-              acc := { inner = Depgraph.Chased c; enclosing = path @ [ l ] } :: !acc)
-        nested
-  in
-  walk [] nest;
-  List.rev !acc
-
-(* Innermost constructs are identified across transformations by their
-   loop variable / chase pointer name (unroll-and-jam keeps both). *)
-let inner_key = function
-  | Depgraph.Counted l -> "L:" ^ l.var
-  | Depgraph.Chased c -> "C:" ^ c.cvar
-
-(* Rename loop variables so every counted loop in the program has a unique
-   variable. Sibling loops reusing a variable name (FFT's per-stage nests,
-   Ocean's two sweeps) would otherwise be indistinguishable to the
-   name-keyed replacement below. *)
+(* Sibling loops reusing a variable name (FFT's per-stage nests, Ocean's
+   two sweeps) would otherwise be indistinguishable to the name-keyed
+   nest traversal. *)
 let uniquify_loops (p : program) =
   let taken = Hashtbl.create 32 in
   let fresh v =
@@ -125,25 +89,6 @@ let uniquify_loops (p : program) =
   in
   { p with body = List.map walk p.body }
 
-(* Replace the first loop (in program order) with variable [var] by the
-   statement list [repl]. Exactly one replacement happens per call. *)
-let replace_loop ~var ~repl stmt =
-  let found = ref false in
-  let rec go stmt =
-    match stmt with
-    | Loop l when (not !found) && String.equal l.var var ->
-        found := true;
-        repl
-    | Loop l -> [ Loop { l with body = List.concat_map go l.body } ]
-    | If (c, t, e) -> [ If (c, List.concat_map go t, List.concat_map go e) ]
-    | Chase c -> [ Chase { c with cbody = List.concat_map go c.cbody } ]
-    | Assign _ | Use _ | Barrier | Prefetch _ -> [ stmt ]
-  in
-  go stmt
-
-let replace_nth body idx repl =
-  List.concat (List.mapi (fun i st -> if i = idx then repl else [ st ]) body)
-
 (* ------------------------------------------------------------------ *)
 (* Analysis wrappers                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -155,18 +100,8 @@ let replace_nth body idx repl =
    of the program plus the line size; [p_name] is part of the digest, so
    workloads with distinct initializers never collide. The returned
    closure reads an immutable profile, so sharing across domains is safe. *)
-let pm_cache : (string, int -> float) Hashtbl.t = Hashtbl.create 64
-let pm_mutex = Mutex.create ()
-
-let with_pm_lock f =
-  Mutex.lock pm_mutex;
-  match f () with
-  | v ->
-      Mutex.unlock pm_mutex;
-      v
-  | exception e ->
-      Mutex.unlock pm_mutex;
-      raise e
+let pm_cache : (int -> float) Memclust_util.Analysis_cache.t =
+  Memclust_util.Analysis_cache.create ~cap:512 ~name:"driver-profile-pm" ()
 
 let make_pm options ~init p =
   if not options.profile_pm then fun _ -> 1.0
@@ -177,58 +112,55 @@ let make_pm options ~init p =
         (match init with None -> "-" | Some _ -> "i")
         (Digest.to_hex (Digest.string (Marshal.to_string p [])))
     in
-    match with_pm_lock (fun () -> Hashtbl.find_opt pm_cache key) with
-    | Some pm -> pm
-    | None ->
+    Memclust_util.Analysis_cache.find_or_compute pm_cache key (fun () ->
         let data = Data.create p in
         (match init with Some f -> f data | None -> ());
         let prof = Profile.run ~line_size p data in
-        let pm id = Profile.miss_rate prof id in
-        with_pm_lock (fun () -> Hashtbl.replace pm_cache key pm);
-        pm
+        fun id -> Profile.miss_rate prof id)
   end
 
 (* Evaluate f for the innermost construct identified by [key] inside the
-   nest at [idx] in [p]. *)
-let evaluate options ~init p idx ~key =
+   top-level nest whose loop variable is [nest_var]. *)
+let evaluate options ~init p ~nest_var ~key =
   let loc = Locality.analyze ~line_size:options.machine.Machine_model.line_size p in
   let pm = make_pm options ~init p in
-  match List.nth p.body idx with
-  | Loop nest -> (
+  match Pass.find_nest p nest_var with
+  | None -> None
+  | Some (_, nest) -> (
       match
-        List.find_opt (fun l -> String.equal (inner_key l.inner) key)
-          (locate_all nest)
+        List.find_opt
+          (fun (l : Pass.located) -> String.equal (Pass.inner_key l.inner) key)
+          (Pass.locate_all nest)
       with
       | None -> None
       | Some located ->
-          let graph = Depgraph.analyze loc located.inner in
+          let graph = Depgraph.analyze loc located.Pass.inner in
           let alpha = Depgraph.alpha graph in
           let fest =
-            Festimate.compute options.machine loc ~pm ~graph located.inner
+            Festimate.compute options.machine loc ~pm ~graph located.Pass.inner
           in
           Some (loc, located, graph, alpha, fest))
-  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Unroll-and-jam with binary search on the degree                     *)
 (* ------------------------------------------------------------------ *)
 
-let try_factor p idx (parent : loop) enclosing n =
+let try_factor p ~nest_var (parent : loop) enclosing n =
   let outer_ranges =
     Legality.ranges_of_nest ~params:p.params
       (List.filter (fun (l : loop) -> not (String.equal l.var parent.var)) enclosing)
   in
-  match
-    Unroll_jam.apply ~params:p.params ~outer_ranges ~factor:n parent
-  with
+  match Unroll_jam.apply ~params:p.params ~outer_ranges ~factor:n parent with
   | Error e -> Error (Format.asprintf "%a" Unroll_jam.pp_error e)
-  | Ok repl ->
-      let nest_stmt = List.nth p.body idx in
-      let nest' = replace_loop ~var:parent.var ~repl nest_stmt in
-      let p' = Program.renumber { p with body = replace_nth p.body idx nest' } in
-      Ok p'
+  | Ok repl -> (
+      match Pass.find_nest p nest_var with
+      | None -> Error "internal: nest vanished"
+      | Some (_, nest) ->
+          let nest' = Pass.replace_loop ~var:parent.var ~repl (Loop nest) in
+          Ok (Program.renumber (Pass.replace_nest p ~var:nest_var ~repl:nest')))
 
-let resolve_recurrences options ~init p idx ~key parent enclosing ~alpha ~f0 =
+let resolve_recurrences options ~init p ~nest_var ~key parent enclosing ~alpha ~f0
+    =
   let lp = float_of_int options.machine.Machine_model.mshrs in
   let target = alpha *. lp in
   let u = options.machine.Machine_model.max_unroll in
@@ -261,10 +193,10 @@ let resolve_recurrences options ~init p idx ~key parent enclosing ~alpha ~f0 =
   (* f is monotone in the unroll degree: binary-search the largest degree
      whose f stays within α·lp (the paper's contention-conscious rule) *)
   let f_of n =
-    match try_factor p idx parent enclosing n with
+    match try_factor p ~nest_var parent enclosing n with
     | Error msg -> Error msg
     | Ok p' -> (
-        match evaluate options ~init p' idx ~key with
+        match evaluate options ~init p' ~nest_var ~key with
         | Some (_, _, _, _, fest) -> Ok (p', fest.Festimate.f)
         | None -> Error "internal: nest vanished")
   in
@@ -304,13 +236,13 @@ let resolve_recurrences options ~init p idx ~key parent enclosing ~alpha ~f0 =
 (* Window-constraint resolution                                        *)
 (* ------------------------------------------------------------------ *)
 
-let resolve_window options ~init p idx ~key =
-  match evaluate options ~init p idx ~key with
+let resolve_window options ~init p ~nest_var ~key =
+  match evaluate options ~init p ~nest_var ~key with
   | None -> (p, [])
   | Some (_, located, graph, _, fest) -> (
       let lp = float_of_int options.machine.Machine_model.mshrs in
       let density = fest.Festimate.misses_per_iteration in
-      match located.inner with
+      match located.Pass.inner with
       | Depgraph.Counted l
         when graph.Depgraph.recurrences = []
              && density > 0.0
@@ -321,13 +253,15 @@ let resolve_window options ~init p idx ~key =
           in
           (match Inner_unroll.apply ~params:p.params ~factor:k l with
           | Error _ -> (p, [])
-          | Ok repl ->
-              let nest_stmt = List.nth p.body idx in
-              let nest' = replace_loop ~var:l.var ~repl nest_stmt in
-              let p' =
-                Program.renumber { p with body = replace_nth p.body idx nest' }
-              in
-              (p', [ Inner_unroll { inner_var = l.var; factor = k } ]))
+          | Ok repl -> (
+              match Pass.find_nest p nest_var with
+              | None -> (p, [])
+              | Some (_, nest) ->
+                  let nest' = Pass.replace_loop ~var:l.var ~repl (Loop nest) in
+                  let p' =
+                    Program.renumber (Pass.replace_nest p ~var:nest_var ~repl:nest')
+                  in
+                  (p', [ Inner_unroll { inner_var = l.var; factor = k } ])))
       | _ -> (p, []))
 
 (* ------------------------------------------------------------------ *)
@@ -336,11 +270,16 @@ let resolve_window options ~init p idx ~key =
 
 let schedule_innermost options p =
   let loc = Locality.analyze ~line_size:options.machine.Machine_model.line_size p in
+  let scheduled = ref 0 in
   let reorder body =
-    match options.scheduler with
-    | Pack_misses -> Schedule.pack_misses loc body
-    | Balanced -> Balanced_sched.reorder loc body
-    | No_schedule -> body
+    let body' =
+      match options.scheduler with
+      | Pack_misses -> Schedule.pack_misses loc body
+      | Balanced -> Balanced_sched.reorder loc body
+      | No_schedule -> body
+    in
+    if body' != body && body' <> body then incr scheduled;
+    body'
   in
   let rec walk stmt =
     match stmt with
@@ -359,103 +298,340 @@ let schedule_innermost options p =
     | If (c, t, e) -> If (c, List.map walk t, List.map walk e)
     | Assign _ | Use _ | Barrier | Prefetch _ -> stmt
   in
-  { p with body = List.map walk p.body }
+  let p' = { p with body = List.map walk p.body } in
+  (p', !scheduled)
+
+(* ------------------------------------------------------------------ *)
+(* The registered passes                                               *)
+(* ------------------------------------------------------------------ *)
+
+let always _ = true
+
+(* Chase pointer names are not uniquified, so an inner-construct key alone
+   can repeat across nests; events qualify it with the nest variable so the
+   report attaches each action to the right nest. *)
+let qkey nest_var key = nest_var ^ "/" ^ key
+
+(* Iterate the source nests and their innermost-construct keys, threading
+   the program through [f] — the single nest-indexed traversal that
+   replaces the old driver's shifting-index [while] loop. *)
+let over_nest_keys p f =
+  let events = ref [] in
+  let p = ref p in
+  List.iter
+    (fun nest_var ->
+      match Pass.find_nest !p nest_var with
+      | None -> ()
+      | Some (_, nest) ->
+          let keys =
+            List.map (fun (l : Pass.located) -> Pass.inner_key l.inner)
+              (Pass.locate_all nest)
+            |> List.sort_uniq String.compare
+          in
+          List.iter
+            (fun key ->
+              let p', evs = f !p ~nest_var ~key in
+              p := p';
+              events := !events @ evs)
+            keys)
+    (Pass.source_nest_vars !p);
+  (!p, !events)
+
+let uniquify_pass =
+  {
+    Pass.name = "uniquify";
+    description = "rename loop variables so every counted loop is unique";
+    enabled = always;
+    rewrite = (fun _ p -> (uniquify_loops p, []));
+  }
+
+let analyze_pass =
+  {
+    Pass.name = "analyze";
+    description =
+      "per-nest locality/dependence analysis: records alpha and the \
+       initial f of every innermost construct";
+    enabled = always;
+    rewrite =
+      (fun { Pass.options; init } p ->
+        over_nest_keys p (fun p ~nest_var ~key ->
+            match evaluate options ~init p ~nest_var ~key with
+            | None -> (p, [])
+            | Some (_, located, _, alpha, fest) ->
+                let nest_index =
+                  match Pass.find_nest p nest_var with
+                  | Some (i, _) -> i
+                  | None -> -1
+                in
+                ( p,
+                  [ Pass.Nest_seen
+                      {
+                        nest_index;
+                        inner_desc = Pass.inner_desc located.Pass.inner;
+                        key = qkey nest_var key;
+                        alpha;
+                        f_initial = fest.Festimate.f;
+                      };
+                  ] )));
+  }
+
+let fuse_pass =
+  {
+    Pass.name = "fuse";
+    description =
+      "fuse adjacent fusable top-level loops (paper §6: clusters the \
+       misses of unnested loops)";
+    enabled = (fun o -> o.do_fuse);
+    rewrite =
+      (fun _ p ->
+        let p', n = Fuse.fuse_adjacent ~params:p.params p in
+        (p', [ Pass.Count { what = "loops fused"; n } ]));
+  }
+
+let strip_mine_pass =
+  {
+    Pass.name = "strip-mine";
+    description =
+      "strip-mine-and-interchange top-level perfect 2-nests (paper §2.2 \
+       comparison transform)";
+    enabled = (fun o -> o.do_strip_mine);
+    rewrite =
+      (fun { Pass.options; _ } p ->
+        let size = min 8 options.machine.Machine_model.max_unroll in
+        let n = ref 0 in
+        let p = ref p in
+        List.iter
+          (fun nest_var ->
+            match Pass.find_nest !p nest_var with
+            | None -> ()
+            | Some (_, nest) -> (
+                match
+                  Strip_mine.strip_and_interchange ~params:!p.params ~size nest
+                with
+                | Error _ -> ()
+                | Ok stmt ->
+                    incr n;
+                    p := Pass.replace_nest !p ~var:nest_var ~repl:[ stmt ]))
+          (Pass.source_nest_vars !p);
+        (!p, [ Pass.Count { what = "nests strip-mined"; n = !n } ]));
+  }
+
+let unroll_jam_pass =
+  {
+    Pass.name = "unroll-jam";
+    description =
+      "resolve memory-parallelism recurrences: binary-search the largest \
+       unroll-and-jam degree keeping f <= alpha*lp (paper §3.2)";
+    enabled = (fun o -> o.do_unroll_jam);
+    rewrite =
+      (fun { Pass.options; init } p ->
+        let lp = float_of_int options.machine.Machine_model.mshrs in
+        over_nest_keys p (fun p ~nest_var ~key ->
+            match evaluate options ~init p ~nest_var ~key with
+            | None -> (p, [])
+            | Some (_, located, _, alpha, fest) ->
+                if
+                  alpha > 0.0
+                  && fest.Festimate.f < alpha *. lp
+                  && located.Pass.enclosing <> []
+                then begin
+                  (* try enclosing loops from the immediate parent outward
+                     (the paper defers the deeper-nest choice to Carr &
+                     Kennedy; nearest-first is their common case) *)
+                  let candidates = List.rev located.Pass.enclosing in
+                  let p = ref p in
+                  let events = ref [] in
+                  let rec attempt = function
+                    | [] -> ()
+                    | target :: rest ->
+                        let p', acts =
+                          resolve_recurrences options ~init !p ~nest_var ~key
+                            target located.Pass.enclosing ~alpha
+                            ~f0:fest.Festimate.f
+                        in
+                        let succeeded =
+                          List.exists
+                            (function Unroll_jam _ -> true | _ -> false)
+                            acts
+                        in
+                        p := p';
+                        events :=
+                          !events
+                          @ List.map
+                              (fun action ->
+                                Pass.Nest_action
+                                  { key = qkey nest_var key; action })
+                              acts;
+                        if not succeeded then attempt rest
+                  in
+                  attempt candidates;
+                  (!p, !events)
+                end
+                else (p, [])));
+  }
+
+let window_pass =
+  {
+    Pass.name = "window-unroll";
+    description =
+      "inner-loop unrolling when the misses of one window's worth of \
+       iterations cannot fill the MSHRs (paper §3.3)";
+    enabled = (fun o -> o.do_window);
+    rewrite =
+      (fun { Pass.options; init } p ->
+        over_nest_keys p (fun p ~nest_var ~key ->
+            let p', acts = resolve_window options ~init p ~nest_var ~key in
+            ( p',
+              List.map
+                (fun action ->
+                  Pass.Nest_action { key = qkey nest_var key; action })
+                acts )));
+  }
+
+let scalar_replace_pass =
+  {
+    Pass.name = "scalar-replace";
+    description =
+      "lift regular array loads into scalars and forward stored values \
+       (the reuse unroll-and-jam creates, paper §2.2)";
+    enabled = (fun o -> o.do_scalar_replace);
+    rewrite =
+      (fun _ p ->
+        let p', n = Scalar_replace.apply_innermost p in
+        (p', [ Pass.Count { what = "scalar-replaced"; n } ]));
+  }
+
+let prefetch_insert_pass =
+  {
+    Pass.name = "prefetch";
+    description =
+      "Mowry-style software prefetch insertion into innermost counted \
+       loops (paper §1 comparison technique)";
+    enabled = (fun o -> o.do_prefetch);
+    rewrite =
+      (fun { Pass.options; _ } p ->
+        let p', n =
+          Prefetch_pass.insert
+            ~line_size:options.machine.Machine_model.line_size p
+        in
+        (p', [ Pass.Count { what = "prefetches inserted"; n } ]));
+  }
+
+let schedule_pass =
+  {
+    Pass.name = "schedule";
+    description =
+      "miss-packing (or balanced) scheduling of every innermost body \
+       (paper §3.3)";
+    enabled =
+      (fun o ->
+        o.do_schedule
+        && match o.scheduler with No_schedule -> false | _ -> true);
+    rewrite =
+      (fun { Pass.options; _ } p ->
+        let p', n = schedule_innermost options p in
+        (p', [ Pass.Count { what = "bodies rescheduled"; n } ]));
+  }
+
+let passes =
+  [
+    uniquify_pass;
+    analyze_pass;
+    fuse_pass;
+    strip_mine_pass;
+    unroll_jam_pass;
+    window_pass;
+    scalar_replace_pass;
+    prefetch_insert_pass;
+    schedule_pass;
+  ]
+
+let pass_names = List.map (fun p -> p.Pass.name) passes
+
+(* ------------------------------------------------------------------ *)
+(* Report assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let report_of_trace (trace : Pass.Pipeline.trace) =
+  let nests : (string * nest_report) list ref = ref [] in
+  let scalar_replaced = ref 0 in
+  let handle = function
+    | Pass.Nest_seen { nest_index; inner_desc; key; alpha; f_initial } ->
+        nests :=
+          !nests @ [ (key, { nest_index; inner_desc; alpha; f_initial; actions = [] }) ]
+    | Pass.Nest_action { key; action } -> (
+        match List.assoc_opt key !nests with
+        | Some _ ->
+            nests :=
+              List.map
+                (fun (k, nr) ->
+                  if String.equal k key then (k, { nr with actions = nr.actions @ [ action ] })
+                  else (k, nr))
+                !nests
+        | None ->
+            (* the analyze pass was disabled: synthesize a bare nest entry.
+               Keys look like "nestvar/L:innervar" — recover the inner name. *)
+            let inner_desc =
+              let tail =
+                match String.index_opt key '/' with
+                | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+                | None -> key
+              in
+              if String.length tail > 2 then
+                String.sub tail 2 (String.length tail - 2)
+              else tail
+            in
+            nests :=
+              !nests
+              @ [ ( key,
+                    {
+                      nest_index = -1;
+                      inner_desc;
+                      alpha = 0.0;
+                      f_initial = 0.0;
+                      actions = [ action ];
+                    } );
+                ])
+    | Pass.Count { what; n } ->
+        if String.equal what "scalar-replaced" then
+          scalar_replaced := !scalar_replaced + n
+  in
+  List.iter
+    (fun (e : Pass.Pipeline.entry) -> List.iter handle e.events)
+    trace.entries;
+  { nests = List.map snd !nests; scalar_replaced = !scalar_replaced; trace }
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(options = default_options) ?init (p : program) =
-  let p = Program.renumber (uniquify_loops p) in
-  let nests = ref [] in
-  let p = ref p in
-  let nest_count = List.length !p.body in
-  (* indices shift as postludes are inserted; scan the original top-level
-     statements in order, skipping statements our own transforms add *)
-  let idx = ref 0 in
-  let seen = ref 0 in
-  while !seen < nest_count && !idx < List.length !p.body do
-    (match List.nth !p.body !idx with
-    | Loop nest ->
-        let keys =
-          List.map (fun l -> inner_key l.inner) (locate_all nest)
-          |> List.sort_uniq String.compare
-        in
-        let before_len = List.length !p.body in
-        List.iter
-          (fun key ->
-            match evaluate options ~init !p !idx ~key with
-            | None -> ()
-            | Some (_, located, _, alpha, fest) ->
-                let actions = ref [] in
-                let lp = float_of_int options.machine.Machine_model.mshrs in
-                (if
-                   options.do_unroll_jam && alpha > 0.0
-                   && fest.Festimate.f < (alpha *. lp)
-                   && located.enclosing <> []
-                 then begin
-                   (* try enclosing loops from the immediate parent outward
-                      (the paper defers the deeper-nest choice to Carr &
-                      Kennedy; nearest-first is their common case) *)
-                   let candidates = List.rev located.enclosing in
-                   let rec attempt = function
-                     | [] -> ()
-                     | target :: rest ->
-                         let p', acts =
-                           resolve_recurrences options ~init !p !idx ~key target
-                             located.enclosing ~alpha ~f0:fest.Festimate.f
-                         in
-                         let succeeded =
-                           List.exists
-                             (function Unroll_jam _ -> true | _ -> false)
-                             acts
-                         in
-                         p := p';
-                         actions := !actions @ acts;
-                         if not succeeded then attempt rest
-                   in
-                   attempt candidates
-                 end);
-                (if options.do_window then begin
-                   let p', acts = resolve_window options ~init !p !idx ~key in
-                   p := p';
-                   actions := !actions @ acts
-                 end);
-                nests :=
-                  {
-                    nest_index = !idx;
-                    inner_desc = inner_desc located.inner;
-                    alpha;
-                    f_initial = fest.Festimate.f;
-                    actions = !actions;
-                  }
-                  :: !nests)
-          keys;
-        let after_len = List.length !p.body in
-        (* skip over any postlude statements appended at top level *)
-        idx := !idx + (after_len - before_len)
-    | _ -> ());
-    incr idx;
-    incr seen
-  done;
-  let p, replaced =
-    if options.do_scalar_replace then Scalar_replace.apply_innermost !p else (!p, 0)
-  in
-  let p = if options.do_schedule then schedule_innermost options p else p in
-  let p = Program.renumber p in
-  (match Program.validate p with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Cluster.Driver: transformed program invalid: " ^ msg));
-  (p, { nests = List.rev !nests; scalar_replaced = replaced })
+let select_passes only =
+  match only with
+  | None -> passes
+  | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.mem n pass_names) then
+            invalid_arg
+              (Printf.sprintf "Cluster.Driver: unknown pass %S (have: %s)" n
+                 (String.concat ", " pass_names)))
+        names;
+      List.map
+        (fun p ->
+          (* uniquify underpins the name-keyed traversal of every other
+             pass; it cannot be opted out of *)
+          if String.equal p.Pass.name "uniquify" then p
+          else
+            let on = List.mem p.Pass.name names in
+            { p with Pass.enabled = (fun _ -> on) })
+        passes
 
-let pp_action ppf = function
-  | Unroll_jam { target_var; factor; f_before; f_after; alpha } ->
-      Format.fprintf ppf "unroll-and-jam %s by %d (f %.2f -> %.2f, alpha %.2f)"
-        target_var factor f_before f_after alpha
-  | Inner_unroll { inner_var; factor } ->
-      Format.fprintf ppf "inner-unroll %s by %d" inner_var factor
-  | Rejected { target_var; reason } ->
-      Format.fprintf ppf "no transform of %s (%s)" target_var reason
+let run ?(options = default_options) ?init ?only ?observe (p : program) =
+  let ctx = { Pass.options; init } in
+  let p', trace = Pass.Pipeline.run ?observe ctx (select_passes only) p in
+  (p', report_of_trace trace)
+
+let pp_action = Pass.pp_action
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

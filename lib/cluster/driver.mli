@@ -1,23 +1,30 @@
-(** End-to-end clustering driver: the compiler algorithm of paper §3.
+(** End-to-end clustering driver: the compiler algorithm of paper §3,
+    expressed as a declarative pipeline of named {!Pass.t} passes run by
+    {!Pass.Pipeline.run}:
 
-    For every top-level loop nest of a program:
+    + [uniquify] — make every loop variable unique (nests are addressed by
+      variable from here on);
+    + [analyze] — locality analysis, (optionally) miss-rate profiling, the
+      memory-parallelism dependence graph and α/f of every innermost
+      loop-like construct;
+    + [fuse], [strip-mine] — optional comparison/extension transforms
+      (disabled by default);
+    + [unroll-jam] — if a loop has a recurrence and f < α·lp,
+      binary-search the largest unroll-and-jam degree of an enclosing loop
+      that keeps f ≤ α·lp (re-analyzing after each trial);
+    + [window-unroll] — inner-loop unrolling when the misses of ⌈W/i⌉
+      iterations cannot fill the MSHRs;
+    + [scalar-replace], [prefetch] (optional), [schedule] — scalar
+      replacement, prefetch insertion and miss-packing scheduling of every
+      innermost body.
 
-    + run locality analysis and (optionally) miss-rate profiling;
-    + build the memory-parallelism dependence graph of the innermost
-      loop-like construct and compute α over its recurrences;
-    + if the loop has a recurrence and f < α·lp, binary-search the largest
-      unroll-and-jam degree of the enclosing loop that keeps f ≤ α·lp
-      (recomputing locality, dependences and f after each trial, since
-      unroll-and-jam introduces and removes leading references);
-    + resolve remaining window constraints: inner-loop unrolling when the
-      misses of ⌈W/i⌉ iterations cannot fill the MSHRs, then scalar
-      replacement and miss-packing scheduling of every innermost body.
-
-    The result is a transformed program plus a report of every decision. *)
+    The result is a transformed program plus a report of every decision
+    and the pipeline's instrumentation trace (per-pass wall time, IR-size
+    deltas, validation status). *)
 
 open Memclust_ir
 
-type action =
+type action = Pass.action =
   | Unroll_jam of {
       target_var : string;
       factor : int;
@@ -39,14 +46,15 @@ type nest_report = {
 type report = {
   nests : nest_report list;
   scalar_replaced : int;  (** loads removed by scalar replacement *)
+  trace : Pass.Pipeline.trace;  (** per-pass instrumentation *)
 }
 
-type scheduler =
+type scheduler = Pass.scheduler =
   | Pack_misses  (** the window-conscious packing of §3.3 (default) *)
   | Balanced  (** statement-level balanced scheduling (comparison baseline) *)
   | No_schedule
 
-type options = {
+type options = Pass.options = {
   machine : Machine_model.t;
   profile_pm : bool;  (** measure P_m by cache profiling (needs [init]) *)
   do_unroll_jam : bool;
@@ -54,18 +62,32 @@ type options = {
   do_scalar_replace : bool;
   do_schedule : bool;  (** run a local scheduler at all *)
   scheduler : scheduler;
+  do_fuse : bool;  (** optional fusion pass (paper §6), default off *)
+  do_strip_mine : bool;  (** optional strip-mine pass (§2.2), default off *)
+  do_prefetch : bool;  (** optional prefetch-insertion pass, default off *)
 }
 
 val default_options : options
 
+val passes : Pass.t list
+(** The registered pipeline, in execution order. *)
+
+val pass_names : string list
+
 val run :
   ?options:options ->
   ?init:(Data.t -> unit) ->
+  ?only:string list ->
+  ?observe:(string -> Ast.program -> unit) ->
   Ast.program ->
   Ast.program * report
 (** Transform the program. [init] fills a fresh store with the workload's
     data (pointer chains, index arrays) so profiling sees real access
     patterns; without it, irregular references are assumed to always miss
-    (P_m = 1). The returned program is renumbered and validated. *)
+    (P_m = 1). [only] restricts the pipeline to the named passes
+    (overriding the option flags; [uniquify] always runs; unknown names
+    raise [Invalid_argument]). [observe] is called with the pass name and
+    program after every pass that ran. The returned program is renumbered
+    and validated after every pass. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,406 @@
+open Memclust_ir
+open Memclust_locality
+open Memclust_depgraph
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Options shared by every pass                                        *)
+(* ------------------------------------------------------------------ *)
+
+type scheduler = Pack_misses | Balanced | No_schedule
+
+type options = {
+  machine : Machine_model.t;
+  profile_pm : bool;
+  do_unroll_jam : bool;
+  do_window : bool;
+  do_scalar_replace : bool;
+  do_schedule : bool;
+  scheduler : scheduler;
+  do_fuse : bool;
+  do_strip_mine : bool;
+  do_prefetch : bool;
+}
+
+let default_options =
+  {
+    machine = Machine_model.base;
+    profile_pm = true;
+    do_unroll_jam = true;
+    do_window = true;
+    do_scalar_replace = true;
+    do_schedule = true;
+    scheduler = Pack_misses;
+    do_fuse = false;
+    do_strip_mine = false;
+    do_prefetch = false;
+  }
+
+type ctx = { options : options; init : (Data.t -> unit) option }
+
+(* ------------------------------------------------------------------ *)
+(* Events: what a pass did, in terms the report can aggregate          *)
+(* ------------------------------------------------------------------ *)
+
+type action =
+  | Unroll_jam of {
+      target_var : string;
+      factor : int;
+      f_before : float;
+      f_after : float;
+      alpha : float;
+    }
+  | Inner_unroll of { inner_var : string; factor : int }
+  | Rejected of { target_var : string; reason : string }
+
+type event =
+  | Nest_seen of {
+      nest_index : int;
+      inner_desc : string;
+      key : string;
+      alpha : float;
+      f_initial : float;
+    }
+  | Nest_action of { key : string; action : action }
+  | Count of { what : string; n : int }
+
+let pp_action ppf = function
+  | Unroll_jam { target_var; factor; f_before; f_after; alpha } ->
+      Format.fprintf ppf "unroll-and-jam %s by %d (f %.2f -> %.2f, alpha %.2f)"
+        target_var factor f_before f_after alpha
+  | Inner_unroll { inner_var; factor } ->
+      Format.fprintf ppf "inner-unroll %s by %d" inner_var factor
+  | Rejected { target_var; reason } ->
+      Format.fprintf ppf "no transform of %s (%s)" target_var reason
+
+let event_label = function
+  | Nest_seen { inner_desc; alpha; f_initial; _ } ->
+      Printf.sprintf "nest %s: alpha=%.2f f=%.2f" inner_desc alpha f_initial
+  | Nest_action { action; _ } -> Format.asprintf "%a" pp_action action
+  | Count { what; n } -> Printf.sprintf "%s: %d" what n
+
+(* ------------------------------------------------------------------ *)
+(* The pass record                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  description : string;
+  enabled : options -> bool;
+  rewrite : ctx -> program -> program * event list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Nest traversal helpers (shared by passes and the pipeline's own     *)
+(* instrumentation)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type located = { inner : Depgraph.inner; enclosing : loop list }
+
+let inner_desc = function
+  | Depgraph.Counted l -> l.var
+  | Depgraph.Chased c -> c.cvar
+
+(* All innermost loop-like constructs under [l], each with its enclosing
+   counted loops (outermost first). A loop directly containing a chase is
+   not itself innermost — the chase is. *)
+let locate_all (nest : loop) : located list =
+  let acc = ref [] in
+  let rec walk path (l : loop) =
+    let nested =
+      List.filter_map
+        (function Loop l' -> Some (`L l') | Chase c -> Some (`C c) | _ -> None)
+        l.body
+    in
+    if nested = [] then acc := { inner = Depgraph.Counted l; enclosing = path } :: !acc
+    else
+      List.iter
+        (function
+          | `L l' -> walk (path @ [ l ]) l'
+          | `C c ->
+              acc := { inner = Depgraph.Chased c; enclosing = path @ [ l ] } :: !acc)
+        nested
+  in
+  walk [] nest;
+  List.rev !acc
+
+(* Innermost constructs are identified across transformations by their
+   loop variable / chase pointer name (unroll-and-jam keeps both). *)
+let inner_key = function
+  | Depgraph.Counted l -> "L:" ^ l.var
+  | Depgraph.Chased c -> "C:" ^ c.cvar
+
+(* Top-level nests eligible for per-nest passes, identified by loop
+   variable. After [uniquify] every loop variable in the program is
+   unique, so a top-level loop whose variable already occurred anywhere
+   earlier in the body is a rewrite artifact — an unroll-and-jam postlude
+   reuses the original nest's variables — and is skipped, the role the old
+   driver's shifting-index bookkeeping played. *)
+let source_nest_vars p =
+  let seen = Hashtbl.create 32 in
+  let rec note stmt =
+    match stmt with
+    | Loop l ->
+        Hashtbl.replace seen l.var ();
+        List.iter note l.body
+    | Chase c -> List.iter note c.cbody
+    | If (_, t, e) ->
+        List.iter note t;
+        List.iter note e
+    | Assign _ | Use _ | Barrier | Prefetch _ -> ()
+  in
+  List.filter_map
+    (fun stmt ->
+      match stmt with
+      | Loop l ->
+          let fresh = not (Hashtbl.mem seen l.var) in
+          note stmt;
+          if fresh then Some l.var else None
+      | _ ->
+          note stmt;
+          None)
+    p.body
+
+let find_nest p var =
+  let rec go i = function
+    | [] -> None
+    | Loop l :: _ when String.equal l.var var -> Some (i, l)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 p.body
+
+let replace_nest p ~var ~repl =
+  let found = ref false in
+  let body =
+    List.concat_map
+      (fun stmt ->
+        match stmt with
+        | Loop l when (not !found) && String.equal l.var var ->
+            found := true;
+            repl
+        | _ -> [ stmt ])
+      p.body
+  in
+  { p with body }
+
+(* Replace the first loop (in program order) with variable [var] by the
+   statement list [repl]. Exactly one replacement happens per call. *)
+let replace_loop ~var ~repl stmt =
+  let found = ref false in
+  let rec go stmt =
+    match stmt with
+    | Loop l when (not !found) && String.equal l.var var ->
+        found := true;
+        repl
+    | Loop l -> [ Loop { l with body = List.concat_map go l.body } ]
+    | If (c, t, e) -> [ If (c, List.concat_map go t, List.concat_map go e) ]
+    | Chase c -> [ Chase { c with cbody = List.concat_map go c.cbody } ]
+    | Assign _ | Use _ | Barrier | Prefetch _ -> [ stmt ]
+  in
+  go stmt
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline combinator                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pipeline = struct
+  type nest_summary = { ns_inner : string; ns_alpha : float; ns_f : float }
+  type ir_size = { stmts : int; static_refs : int }
+
+  type entry = {
+    pass_name : string;
+    ran : bool;
+    wall_ms : float;
+    size_before : ir_size;
+    size_after : ir_size;
+    f_before : nest_summary list;
+    f_after : nest_summary list;
+    validated : bool;
+    events : event list;
+  }
+
+  type trace = { program_name : string; entries : entry list; total_ms : float }
+
+  let measure p =
+    let stmts = ref 0 in
+    let rec walk stmt =
+      incr stmts;
+      match stmt with
+      | Loop l -> List.iter walk l.body
+      | Chase c -> List.iter walk c.cbody
+      | If (_, t, e) ->
+          List.iter walk t;
+          List.iter walk e
+      | Assign _ | Use _ | Barrier | Prefetch _ -> ()
+    in
+    List.iter walk p.body;
+    { stmts = !stmts; static_refs = List.length (Program.refs p) }
+
+  (* Static f/α per innermost construct of every source nest. Used for the
+     trace only, so it deliberately skips miss-rate profiling (pm = 1):
+     re-profiling the whole program after every pass would dominate
+     pipeline time. Passes that need the profiled f compute it
+     themselves. *)
+  let nest_summaries options p =
+    let loc =
+      Locality.analyze ~line_size:options.machine.Machine_model.line_size p
+    in
+    List.concat_map
+      (fun var ->
+        match find_nest p var with
+        | None -> []
+        | Some (_, nest) ->
+            List.map
+              (fun located ->
+                let graph = Depgraph.analyze loc located.inner in
+                let fest =
+                  Festimate.compute options.machine loc
+                    ~pm:(fun _ -> 1.0)
+                    ~graph located.inner
+                in
+                {
+                  ns_inner = inner_desc located.inner;
+                  ns_alpha = Depgraph.alpha graph;
+                  ns_f = fest.Festimate.f;
+                })
+              (locate_all nest))
+      (source_nest_vars p)
+
+  let now_ms () = Unix.gettimeofday () *. 1000.0
+
+  let run ?(summaries = true) ?observe ctx passes p =
+    let t_start = now_ms () in
+    let current = ref (Program.renumber p) in
+    let entries = ref [] in
+    List.iter
+      (fun pass ->
+        if not (pass.enabled ctx.options) then begin
+          let size = measure !current in
+          entries :=
+            {
+              pass_name = pass.name;
+              ran = false;
+              wall_ms = 0.0;
+              size_before = size;
+              size_after = size;
+              f_before = [];
+              f_after = [];
+              validated = true;
+              events = [];
+            }
+            :: !entries
+        end
+        else begin
+          let size_before = measure !current in
+          let f_before =
+            if summaries then nest_summaries ctx.options !current else []
+          in
+          let t0 = now_ms () in
+          let p', events = pass.rewrite ctx !current in
+          let p' = Program.renumber p' in
+          let wall_ms = now_ms () -. t0 in
+          (match Program.validate p' with
+          | Ok () -> ()
+          | Error msg ->
+              invalid_arg
+                (Printf.sprintf "pass %S produced an invalid program: %s"
+                   pass.name msg));
+          let size_after = measure p' in
+          let f_after =
+            if summaries then nest_summaries ctx.options p' else []
+          in
+          current := p';
+          (match observe with Some f -> f pass.name p' | None -> ());
+          entries :=
+            {
+              pass_name = pass.name;
+              ran = true;
+              wall_ms;
+              size_before;
+              size_after;
+              f_before;
+              f_after;
+              validated = true;
+              events;
+            }
+            :: !entries
+        end)
+      passes;
+    ( !current,
+      {
+        program_name = p.p_name;
+        entries = List.rev !entries;
+        total_ms = now_ms () -. t_start;
+      } )
+
+  (* ---------------------------- rendering --------------------------- *)
+
+  let pp_trace ppf trace =
+    Format.fprintf ppf "@[<v>pipeline %s (%.2f ms total)@," trace.program_name
+      trace.total_ms;
+    List.iter
+      (fun e ->
+        if not e.ran then Format.fprintf ppf "  %-14s (disabled)@," e.pass_name
+        else begin
+          Format.fprintf ppf
+            "  %-14s %7.2f ms  stmts %d->%d  refs %d->%d  [%s]@," e.pass_name
+            e.wall_ms e.size_before.stmts e.size_after.stmts
+            e.size_before.static_refs e.size_after.static_refs
+            (if e.validated then "ok" else "INVALID");
+          List.iter
+            (fun ev -> Format.fprintf ppf "      %s@," (event_label ev))
+            e.events
+        end)
+      trace.entries;
+    Format.fprintf ppf "@]"
+
+  (* Minimal JSON emission — enough structure for external tooling without
+     pulling in a JSON dependency. *)
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_float v =
+    if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+  let summaries_to_json l =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun s ->
+             Printf.sprintf "{\"inner\":\"%s\",\"alpha\":%s,\"f\":%s}"
+               (json_escape s.ns_inner) (json_float s.ns_alpha)
+               (json_float s.ns_f))
+           l)
+    ^ "]"
+
+  let entry_to_json e =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"ran\":%b,\"wall_ms\":%s,\"stmts_before\":%d,\"stmts_after\":%d,\"refs_before\":%d,\"refs_after\":%d,\"validated\":%b,\"f_before\":%s,\"f_after\":%s,\"events\":[%s]}"
+      (json_escape e.pass_name) e.ran (json_float e.wall_ms)
+      e.size_before.stmts e.size_after.stmts e.size_before.static_refs
+      e.size_after.static_refs e.validated
+      (summaries_to_json e.f_before)
+      (summaries_to_json e.f_after)
+      (String.concat ","
+         (List.map
+            (fun ev -> "\"" ^ json_escape (event_label ev) ^ "\"")
+            e.events))
+
+  let trace_to_json trace =
+    Printf.sprintf "{\"program\":\"%s\",\"total_ms\":%s,\"passes\":[%s]}"
+      (json_escape trace.program_name)
+      (json_float trace.total_ms)
+      (String.concat ",\n  " (List.map entry_to_json trace.entries))
+end

@@ -1,0 +1,166 @@
+(** Composable, instrumented transformation passes.
+
+    The paper's method is a pipeline — analyze (locality, dependence
+    graph, f/α per Equations 1–4), then rewrite (unroll-and-jam, inner
+    unrolling, scalar replacement, miss-packing scheduling). This module
+    gives each stage the shape of classic compiler infrastructure: a
+    named {!t} with a rewrite function and an enabled-predicate, run by
+    {!Pipeline.run}, which after {e every} pass renumbers and validates
+    the program (failing fast with the offending pass named) and records
+    wall-clock time, IR-size deltas and before/after f/α summaries into a
+    structured {!Pipeline.trace}.
+
+    The standard pipeline lives in {!Driver}; this module is the
+    machinery plus the nest-traversal helpers the passes share. *)
+
+open Memclust_ir
+open Memclust_depgraph
+open Ast
+
+(** {1 Options} *)
+
+type scheduler =
+  | Pack_misses  (** the window-conscious packing of §3.3 (default) *)
+  | Balanced  (** statement-level balanced scheduling (comparison baseline) *)
+  | No_schedule
+
+type options = {
+  machine : Machine_model.t;
+  profile_pm : bool;  (** measure P_m by cache profiling (needs [init]) *)
+  do_unroll_jam : bool;
+  do_window : bool;  (** inner unrolling for window constraints *)
+  do_scalar_replace : bool;
+  do_schedule : bool;  (** run a local scheduler at all *)
+  scheduler : scheduler;
+  do_fuse : bool;  (** fuse adjacent top-level loops first (§6, off) *)
+  do_strip_mine : bool;
+      (** strip-mine-and-interchange top-level 2-nests (§2.2 comparison,
+          off) *)
+  do_prefetch : bool;  (** software prefetch insertion after clustering (off) *)
+}
+
+val default_options : options
+
+type ctx = { options : options; init : (Data.t -> unit) option }
+(** What every pass may consult: the machine/flag options and the
+    workload's data initializer (for miss-rate profiling). *)
+
+(** {1 Events} *)
+
+(** One decision taken on a nest (reported per nest in {!Driver.report}). *)
+type action =
+  | Unroll_jam of {
+      target_var : string;
+      factor : int;
+      f_before : float;
+      f_after : float;
+      alpha : float;
+    }
+  | Inner_unroll of { inner_var : string; factor : int }
+  | Rejected of { target_var : string; reason : string }
+
+(** What a pass did, in terms the driver's report can aggregate. *)
+type event =
+  | Nest_seen of {
+      nest_index : int;  (** position of the nest in the program body *)
+      inner_desc : string;
+      key : string;  (** stable identity of the innermost construct *)
+      alpha : float;
+      f_initial : float;
+    }
+  | Nest_action of { key : string; action : action }
+  | Count of { what : string; n : int }
+
+val pp_action : Format.formatter -> action -> unit
+val event_label : event -> string
+
+(** {1 The pass record} *)
+
+type t = {
+  name : string;
+  description : string;
+  enabled : options -> bool;  (** consulted by {!Pipeline.run} *)
+  rewrite : ctx -> program -> program * event list;
+      (** must return a structurally valid program; the pipeline renumbers
+          and validates after every pass *)
+}
+
+(** {1 Nest traversal}
+
+    Shared helpers: top-level nests are addressed by loop variable, which
+    [Driver]'s uniquify pass makes globally unique — stable against the
+    top-level postlude statements unroll-and-jam splices in (which reuse
+    existing variables and are therefore recognized and skipped). *)
+
+type located = { inner : Depgraph.inner; enclosing : loop list }
+
+val inner_desc : Depgraph.inner -> string
+val inner_key : Depgraph.inner -> string
+
+val locate_all : loop -> located list
+(** All innermost loop-like constructs under a nest, each with its
+    enclosing counted loops (outermost first). *)
+
+val source_nest_vars : program -> string list
+(** Variables of the top-level source nests, in program order; top-level
+    loops whose variable already occurred earlier in the body (postlude
+    artifacts) are excluded. *)
+
+val find_nest : program -> string -> (int * loop) option
+(** Current body position and loop of the first top-level nest with the
+    given variable. *)
+
+val replace_nest : program -> var:string -> repl:stmt list -> program
+(** Splice [repl] in place of the first top-level loop with variable
+    [var]. *)
+
+val replace_loop : var:string -> repl:stmt list -> stmt -> stmt list
+(** Replace the first loop (in program order) with variable [var] inside
+    one statement by [repl]; exactly one replacement per call. *)
+
+(** {1 The pipeline} *)
+
+module Pipeline : sig
+  type nest_summary = { ns_inner : string; ns_alpha : float; ns_f : float }
+  type ir_size = { stmts : int; static_refs : int }
+
+  type entry = {
+    pass_name : string;
+    ran : bool;  (** false: disabled by its predicate, program untouched *)
+    wall_ms : float;
+    size_before : ir_size;
+    size_after : ir_size;
+    f_before : nest_summary list;
+    f_after : nest_summary list;
+    validated : bool;
+    events : event list;
+  }
+
+  type trace = { program_name : string; entries : entry list; total_ms : float }
+
+  val measure : program -> ir_size
+
+  val nest_summaries : options -> program -> nest_summary list
+  (** Static f/α per innermost construct of every source nest, with
+      [pm = 1] (no profiling — this instruments every pass boundary, so it
+      must stay cheap). *)
+
+  val run :
+    ?summaries:bool ->
+    ?observe:(string -> program -> unit) ->
+    ctx ->
+    t list ->
+    program ->
+    program * trace
+  (** Run the enabled passes in order. After every pass the program is
+      renumbered and validated — an invalid result raises
+      [Invalid_argument] naming the pass. [observe] is called with the
+      pass name and the (renumbered, validated) program after each pass
+      that ran. [summaries:false] skips the f/α trace summaries. *)
+
+  val pp_trace : Format.formatter -> trace -> unit
+
+  val trace_to_json : trace -> string
+  (** The trace as a self-contained JSON object (name, wall time, IR
+      deltas, validation status and f/α summaries per pass). *)
+end

@@ -3,6 +3,7 @@ open Memclust_cluster
 open Memclust_codegen
 open Memclust_sim
 open Memclust_workloads
+module Analysis_cache = Memclust_util.Analysis_cache
 
 type version = Base | Clustered | Prefetched | Clustered_prefetched
 
@@ -17,6 +18,7 @@ type outcome = {
   spec : spec;
   result : Machine.result;
   cluster_report : Driver.report option;
+  trace : Pass.Pipeline.trace option;
   program : Ast.program;
 }
 
@@ -32,22 +34,13 @@ let machine_of_config (cfg : Config.t) =
 (* Clustering is deterministic: memoize per (workload, config) so the
    multiprocessor and uniprocessor runs share one transformation.
 
-   The memo tables are shared across the domains of the experiment pool,
-   so every access is mutex-guarded. Computation runs outside the lock:
-   two domains racing on the same key may duplicate (deterministic) work,
-   but Figures deduplicates its spec lists so this stays rare. *)
-let cache : (string, Ast.program * Driver.report) Hashtbl.t = Hashtbl.create 16
-let cache_m = Mutex.create ()
-
-let with_lock m f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-      Mutex.unlock m;
-      v
-  | exception e ->
-      Mutex.unlock m;
-      raise e
+   All memo tables are [Analysis_cache]s: mutex-guarded (shared across the
+   domains of the experiment pool) and bounded, so long bench sweeps can't
+   grow memory without bound. Computation runs outside the lock: two
+   domains racing on the same key may duplicate (deterministic) work, but
+   Figures deduplicates its spec lists so this stays rare. *)
+let cluster_cache : (Ast.program * Driver.report) Analysis_cache.t =
+  Analysis_cache.create ~cap:128 ~name:"harness-cluster" ()
 
 let transform (cfg : Config.t) (w : Workload.t) =
   let machine =
@@ -63,13 +56,9 @@ let transform (cfg : Config.t) (w : Workload.t) =
       machine.Machine_model.window machine.Machine_model.mshrs
       machine.Machine_model.line_size machine.Machine_model.max_procs
   in
-  match with_lock cache_m (fun () -> Hashtbl.find_opt cache key) with
-  | Some r -> r
-  | None ->
+  Analysis_cache.find_or_compute cluster_cache key (fun () ->
       let options = { Driver.default_options with machine } in
-      let r = Driver.run ~options ~init:w.Workload.init w.Workload.program in
-      with_lock cache_m (fun () -> Hashtbl.replace cache key r);
-      r
+      Driver.run ~options ~init:w.Workload.init w.Workload.program)
 
 let scaled_config (cfg : Config.t) (w : Workload.t) =
   match cfg.Config.l2_bytes with
@@ -82,9 +71,11 @@ let scaled_config (cfg : Config.t) (w : Workload.t) =
    program: distinct clusterings hash apart, identical ones (e.g. the
    same workload clustered for two MSHR counts that lead to the same
    transformation) hash together. The trace and the home map are
-   immutable once built, so sharing across runs is safe. *)
-let lower_cache : (string, Lower.t * (int -> int)) Hashtbl.t = Hashtbl.create 64
-let lower_m = Mutex.create ()
+   immutable once built, so sharing across runs is safe. Lowered traces
+   are the largest values we memoize, so this cache has the smallest
+   cap. *)
+let lower_cache : (Lower.t * (int -> int)) Analysis_cache.t =
+  Analysis_cache.create ~cap:32 ~name:"harness-lower" ()
 
 let program_digest program =
   Digest.to_hex (Digest.string (Marshal.to_string program []))
@@ -93,16 +84,12 @@ let lowered_for (w : Workload.t) ~nprocs program =
   let key =
     Printf.sprintf "%s|%d|%s" w.Workload.name nprocs (program_digest program)
   in
-  match with_lock lower_m (fun () -> Hashtbl.find_opt lower_cache key) with
-  | Some r -> r
-  | None ->
+  Analysis_cache.find_or_compute lower_cache key (fun () ->
       let data = Data.create program in
       w.Workload.init data;
       let lowered = Lower.build ~nprocs program data in
       let home = Data.home_of_addr data ~nprocs in
-      let r = (lowered, home) in
-      with_lock lower_m (fun () -> Hashtbl.replace lower_cache key r);
-      r
+      (lowered, home))
 
 (* One more memo on top of [lowered_for]: the simulation result itself,
    keyed by (workload, nprocs, full config contents, program digest).
@@ -110,8 +97,8 @@ let lowered_for (w : Workload.t) ~nprocs program =
    the ablation's "full pipeline" variant is exactly the Clustered
    version of the main tables — and [Machine.result] is only ever read
    by the reporting code. *)
-let sim_cache : (string, Machine.result) Hashtbl.t = Hashtbl.create 64
-let sim_m = Mutex.create ()
+let sim_cache : Machine.result Analysis_cache.t =
+  Analysis_cache.create ~cap:512 ~name:"harness-sim" ()
 
 let simulate_cached (w : Workload.t) (cfg : Config.t) ~nprocs program =
   let key =
@@ -119,13 +106,9 @@ let simulate_cached (w : Workload.t) (cfg : Config.t) ~nprocs program =
       (Digest.to_hex (Digest.string (Marshal.to_string cfg [])))
       (program_digest program)
   in
-  match with_lock sim_m (fun () -> Hashtbl.find_opt sim_cache key) with
-  | Some r -> r
-  | None ->
+  Analysis_cache.find_or_compute sim_cache key (fun () ->
       let lowered, home = lowered_for w ~nprocs program in
-      let r = Machine.run cfg ~home lowered in
-      with_lock sim_m (fun () -> Hashtbl.replace sim_cache key r);
-      r
+      Machine.run cfg ~home lowered)
 
 let execute spec =
   let cfg = scaled_config spec.config spec.workload in
@@ -153,10 +136,11 @@ let execute spec =
         (p, Some r)
   in
   let result = simulate_cached spec.workload cfg ~nprocs:spec.nprocs program in
-  { spec; result; cluster_report; program }
+  let trace = Option.map (fun (r : Driver.report) -> r.Driver.trace) cluster_report in
+  { spec; result; cluster_report; trace; program }
 
-let outcome_cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
-let outcome_m = Mutex.create ()
+let outcome_cache : outcome Analysis_cache.t =
+  Analysis_cache.create ~cap:512 ~name:"harness-outcome" ()
 
 let spec_key spec =
   Printf.sprintf "%s|%s|%d|%s" spec.workload.Workload.name
@@ -169,13 +153,15 @@ let spec_key spec =
 
 let execute_cached spec =
   let key = spec_key spec in
-  match with_lock outcome_m (fun () -> Hashtbl.find_opt outcome_cache key) with
+  match Analysis_cache.find_opt outcome_cache key with
   | Some o -> o
   | None ->
       Printf.eprintf "[run] %s...\n%!" key;
       let o = execute spec in
-      with_lock outcome_m (fun () -> Hashtbl.replace outcome_cache key o);
+      Analysis_cache.set outcome_cache key o;
       o
+
+let clear_caches () = Analysis_cache.clear_all ()
 
 let exec_cycles o = o.result.Machine.cycles
 

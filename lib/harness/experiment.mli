@@ -24,6 +24,9 @@ type outcome = {
   spec : spec;
   result : Machine.result;
   cluster_report : Driver.report option;  (** None for unclustered versions *)
+  trace : Pass.Pipeline.trace option;
+      (** the clustering pipeline's per-pass instrumentation (None for
+          unclustered versions) *)
   program : Ast.program;  (** the program actually simulated *)
 }
 
@@ -55,6 +58,12 @@ val execute_cached : spec -> outcome
     progress to stderr. Safe to call from multiple domains concurrently
     (the memo tables are mutex-guarded; racing domains may duplicate
     deterministic work, never corrupt state). *)
+
+val clear_caches : unit -> unit
+(** Drop every memoized clustering, lowering, simulation and outcome
+    (process-wide — clears all registered {!Memclust_util.Analysis_cache}
+    tables, including the driver's profile cache). The caches are also
+    entry-capped, so calling this is optional even for long sweeps. *)
 
 val exec_cycles : outcome -> int
 val data_stall : outcome -> float

@@ -41,7 +41,9 @@ val fusion_legal :
     Checks that no dependence points backwards across the fusion: an
     access in the second loop at iteration i conflicting with a store in
     the first loop at some iteration i+d, d >= 1 (bounded test, like
-    {!interchange_legal}). Any irregular store in either body fails. *)
+    {!interchange_legal}). Any irregular store in either body fails, as
+    does an indirect read in one loop of an array the other loop stores
+    (the dependence distance through the index array is unknowable). *)
 
 val interchange_legal :
   params:(string * int) list ->

@@ -9,10 +9,21 @@ let pad align width s =
   end
 
 let render ?aligns ~header rows =
-  let ncols =
-    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  (* Column counts must agree exactly: a short row or alignment list would
+     previously be padded silently ([List.nth_opt ... -> Right/""]), which
+     let malformed figure tables render plausibly instead of failing. *)
+  let ncols = List.length header in
+  let check what n =
+    if n <> ncols then
+      invalid_arg
+        (Printf.sprintf "Table.render: %s has %d columns, header has %d" what n
+           ncols)
   in
-  let get l i = match List.nth_opt l i with Some v -> v | None -> "" in
+  List.iteri (fun i r -> check (Printf.sprintf "row %d" i) (List.length r)) rows;
+  (match aligns with
+  | Some l -> check "the alignment list" (List.length l)
+  | None -> ());
+  let get l i = List.nth l i in
   let widths =
     Array.init ncols (fun i ->
         List.fold_left
@@ -22,7 +33,7 @@ let render ?aligns ~header rows =
   in
   let align_of i =
     match aligns with
-    | Some l -> (match List.nth_opt l i with Some a -> a | None -> Right)
+    | Some l -> List.nth l i
     | None -> if i = 0 then Left else Right
   in
   let line cells =

@@ -5,8 +5,10 @@ type align = Left | Right
 val render : ?aligns:align list -> header:string list -> string list list -> string
 (** [render ~header rows] lays the rows out in columns sized to the widest
     cell, with a rule under the header. [aligns] defaults to left for the
-    first column and right for the rest. Short rows are padded with empty
-    cells. *)
+    first column and right for the rest. Every row (and [aligns], when
+    given) must have exactly as many entries as [header]; a mismatch
+    raises [Invalid_argument] rather than rendering a silently padded
+    table. *)
 
 val print : ?aligns:align list -> header:string list -> string list list -> unit
 

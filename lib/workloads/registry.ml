@@ -11,6 +11,18 @@ let applications () =
     Ocean.make ();
   ]
 
+let small () =
+  [
+    Latbench.make ~chains:4 ~derefs:32 ();
+    Em3d.make ~nodes:64 ~degree:3 ();
+    Erlebacher.make ~n:8 ();
+    Fft.make ~m:8 ();
+    Lu.make ~n:16 ~block:8 ();
+    Mp3d.make ~particles:128 ~cells_per_side:4 ~steps:1 ();
+    Mst.make ~vertices:32 ~buckets:8 ~nodes:128 ();
+    Ocean.make ~n:18 ~iters:1 ();
+  ]
+
 let by_name name =
   let want = String.lowercase_ascii name in
   List.find_opt

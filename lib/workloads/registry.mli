@@ -6,5 +6,11 @@ val latbench : unit -> Workload.t
 val applications : unit -> Workload.t list
 (** Em3d, Erlebacher, FFT, LU, Mp3d, MST, Ocean. *)
 
+val small : unit -> Workload.t list
+(** Every workload (Latbench + applications) at deliberately tiny sizes —
+    seconds, not minutes, to execute with {!Memclust_ir.Exec} — for
+    differential tests that compare observable stores before and after
+    each transformation pass. *)
+
 val by_name : string -> Workload.t option
 (** Case-insensitive lookup over Latbench and the applications. *)

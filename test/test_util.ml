@@ -135,7 +135,7 @@ let prop_histogram_monotone =
 (* ------------------------------ Table ------------------------------ *)
 
 let test_table_render () =
-  let s = Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y" ] ] in
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
   let lines = String.split_on_char '\n' s in
   Alcotest.(check int) "4 lines" 4 (List.length lines);
   (* all lines equal width *)
@@ -143,10 +143,67 @@ let test_table_render () =
   Alcotest.(check bool) "uniform width" true
     (List.for_all (fun w -> w = List.hd widths) widths)
 
+let test_table_mismatch () =
+  let raises f =
+    match f () with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "short row raises" true
+    (raises (fun () -> Table.render ~header:[ "a"; "bb" ] [ [ "xxx" ] ]));
+  Alcotest.(check bool) "long row raises" true
+    (raises (fun () ->
+         Table.render ~header:[ "a"; "bb" ] [ [ "x"; "y"; "z" ] ]));
+  Alcotest.(check bool) "short aligns raises" true
+    (raises (fun () ->
+         Table.render ~aligns:[ Table.Left ] ~header:[ "a"; "bb" ]
+           [ [ "x"; "y" ] ]))
+
 let test_table_fmt () =
   Alcotest.(check string) "float" "3.14" (Table.fmt_float 3.14159);
   Alcotest.(check string) "float decimals" "3.1" (Table.fmt_float ~decimals:1 3.14159);
   Alcotest.(check string) "pct" "21.0%" (Table.fmt_pct 0.21)
+
+(* -------------------------- Analysis_cache ------------------------- *)
+
+let test_cache_memoizes () =
+  let c = Analysis_cache.create ~name:"test-memo" () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    42
+  in
+  Alcotest.(check int) "first" 42 (Analysis_cache.find_or_compute c "k" compute);
+  Alcotest.(check int) "second" 42 (Analysis_cache.find_or_compute c "k" compute);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check (option int)) "find_opt" (Some 42)
+    (Analysis_cache.find_opt c "k");
+  Analysis_cache.clear c;
+  Alcotest.(check (option int)) "cleared" None (Analysis_cache.find_opt c "k")
+
+let test_cache_bounded () =
+  let cap = 4 in
+  let c = Analysis_cache.create ~cap ~name:"test-bounded" () in
+  for i = 0 to 9 do
+    Analysis_cache.set c (string_of_int i) i
+  done;
+  Alcotest.(check int) "at cap" cap (Analysis_cache.length c);
+  (* FIFO eviction: the oldest entries are gone, the newest survive *)
+  Alcotest.(check (option int)) "oldest evicted" None
+    (Analysis_cache.find_opt c "0");
+  Alcotest.(check (option int)) "newest kept" (Some 9)
+    (Analysis_cache.find_opt c "9")
+
+let test_cache_registry () =
+  let c = Analysis_cache.create ~name:"test-registry" () in
+  Analysis_cache.set c "x" 1;
+  Alcotest.(check bool) "registered" true
+    (List.exists
+       (fun (name, _) -> name = "test-registry")
+       (Analysis_cache.registered ()));
+  Analysis_cache.clear_all ();
+  Alcotest.(check (option int)) "clear_all empties" None
+    (Analysis_cache.find_opt c "x")
 
 (* ------------------------------ Plot ------------------------------- *)
 
@@ -229,6 +286,13 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "fmt" `Quick test_table_fmt;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+        ] );
+      ( "analysis-cache",
+        [
+          Alcotest.test_case "memoizes" `Quick test_cache_memoizes;
+          Alcotest.test_case "bounded" `Quick test_cache_bounded;
+          Alcotest.test_case "registry" `Quick test_cache_registry;
         ] );
       ( "plot",
         [
