@@ -15,6 +15,55 @@ open Memclust_sim
 open Memclust_workloads
 open Memclust_harness
 
+(* --sim-mode / --sample-period: exported through MEMCLUST_SIM_MODE so the
+   choice reaches every Config the harness builds internally (Figures
+   constructs its own), via Machine.resolve_mode's env fallback. *)
+
+let sim_mode_arg =
+  let doc =
+    "Simulation mode: $(b,cycle), $(b,event) or \
+     $(b,sampled)[:PERIOD:WINDOW[:WARMUP]]. Defaults to the \
+     $(b,MEMCLUST_SIM_MODE) environment variable, else event."
+  in
+  Arg.(value & opt (some string) None & info [ "sim-mode" ] ~docv:"MODE" ~doc)
+
+let sample_period_arg =
+  let doc =
+    "Sampled mode with the given period (retired instructions per \
+     processor between detailed windows); window and warm-up scale \
+     proportionally. Shorthand for --sim-mode sampled:PERIOD:.."
+  in
+  Arg.(value & opt (some int) None & info [ "sample-period" ] ~docv:"N" ~doc)
+
+let apply_sim_flags mode period =
+  let s =
+    match (period, mode) with
+    | None, m -> m
+    | Some p, (None | Some "sampled") ->
+        let w =
+          max 2
+            (p * Sampling.default.Sampling.window
+            / Sampling.default.Sampling.period)
+        in
+        Some (Printf.sprintf "sampled:%d:%d:%d" p w (max 1 (w / 4)))
+    | Some _, Some m ->
+        Printf.eprintf
+          "--sample-period only combines with sampled mode (got --sim-mode %s)\n"
+          m;
+        exit 1
+  in
+  match s with
+  | None -> ()
+  | Some s -> (
+      match Machine.mode_of_string s with
+      | Some _ -> Unix.putenv "MEMCLUST_SIM_MODE" s
+      | None ->
+          Printf.eprintf
+            "bad simulation mode %s (cycle, event or \
+             sampled[:PERIOD:WINDOW[:WARMUP]])\n"
+            s;
+          exit 1)
+
 let list_cmd =
   let doc = "List experiment ids and workloads." in
   let run () =
@@ -31,7 +80,8 @@ let list_cmd =
 let experiment_cmd =
   let doc = "Reproduce one or more of the paper's tables/figures." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run ids =
+  let run mode period ids =
+    apply_sim_flags mode period;
     List.iter
       (fun id ->
         match Figures.by_id id with
@@ -42,7 +92,8 @@ let experiment_cmd =
             exit 1)
       ids
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ sim_mode_arg $ sample_period_arg $ ids)
 
 let workload_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -59,7 +110,8 @@ let lookup name =
 
 let run_cmd =
   let doc = "Simulate one workload, base vs clustered, and report." in
-  let run name procs =
+  let run name procs mode period =
+    apply_sim_flags mode period;
     let w = lookup name in
     let nprocs = Option.value ~default:w.Workload.mp_procs procs in
     let go version =
@@ -82,13 +134,21 @@ let run_cmd =
     | None -> ());
     Format.printf "base:@.  %a@.clustered:@.  %a@." Machine.pp_result
       b.Experiment.result Machine.pp_result c.Experiment.result;
+    let ci label (o : Experiment.outcome) =
+      match o.Experiment.estimate with
+      | Some est -> Format.printf "%s sampling estimate:@.  %a@." label Sampling.pp est
+      | None -> ()
+    in
+    ci "base" b;
+    ci "clustered" c;
     Format.printf "execution time reduction: %.1f%%@."
       (100.0
       *. (1.0
          -. float_of_int (Experiment.exec_cycles c)
             /. float_of_int (Experiment.exec_cycles b)))
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ procs_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ procs_arg $ sim_mode_arg $ sample_period_arg)
 
 let analyze_cmd =
   let doc =

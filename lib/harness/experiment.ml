@@ -17,6 +17,7 @@ type spec = {
 type outcome = {
   spec : spec;
   result : Machine.result;
+  estimate : Sampling.estimate option;
   cluster_report : Driver.report option;
   trace : Pass.Pipeline.trace option;
   program : Ast.program;
@@ -97,18 +98,24 @@ let lowered_for (w : Workload.t) ~nprocs program =
    the ablation's "full pipeline" variant is exactly the Clustered
    version of the main tables — and [Machine.result] is only ever read
    by the reporting code. *)
-let sim_cache : Machine.result Analysis_cache.t =
+let sim_cache : (Machine.result * Sampling.estimate option) Analysis_cache.t =
   Analysis_cache.create ~cap:512 ~name:"harness-sim" ()
 
-let simulate_cached (w : Workload.t) (cfg : Config.t) ~nprocs program =
+(* the resolved mode is part of the key because it can come from outside
+   the config (the MEMCLUST_SIM_MODE environment variable) *)
+let simulate_estimated (w : Workload.t) (cfg : Config.t) ~nprocs program =
   let key =
-    Printf.sprintf "%s|%d|%s|%s" w.Workload.name nprocs
+    Printf.sprintf "%s|%d|%s|%s|%s" w.Workload.name nprocs
       (Digest.to_hex (Digest.string (Marshal.to_string cfg [])))
       (program_digest program)
+      (Machine.mode_to_string (Machine.resolve_mode cfg))
   in
   Analysis_cache.find_or_compute sim_cache key (fun () ->
       let lowered, home = lowered_for w ~nprocs program in
-      Machine.run cfg ~home lowered)
+      Machine.run_estimated cfg ~home lowered)
+
+let simulate_cached w cfg ~nprocs program =
+  fst (simulate_estimated w cfg ~nprocs program)
 
 let execute spec =
   let cfg = scaled_config spec.config spec.workload in
@@ -135,21 +142,24 @@ let execute spec =
         in
         (p, Some r)
   in
-  let result = simulate_cached spec.workload cfg ~nprocs:spec.nprocs program in
+  let result, estimate =
+    simulate_estimated spec.workload cfg ~nprocs:spec.nprocs program
+  in
   let trace = Option.map (fun (r : Driver.report) -> r.Driver.trace) cluster_report in
-  { spec; result; cluster_report; trace; program }
+  { spec; result; estimate; cluster_report; trace; program }
 
 let outcome_cache : outcome Analysis_cache.t =
   Analysis_cache.create ~cap:512 ~name:"harness-outcome" ()
 
 let spec_key spec =
-  Printf.sprintf "%s|%s|%d|%s" spec.workload.Workload.name
+  Printf.sprintf "%s|%s|%d|%s|%s" spec.workload.Workload.name
     spec.config.Config.name spec.nprocs
     (match spec.version with
     | Base -> "base"
     | Clustered -> "clust"
     | Prefetched -> "pf"
     | Clustered_prefetched -> "clust+pf")
+    (Machine.mode_to_string (Machine.resolve_mode spec.config))
 
 let execute_cached spec =
   let key = spec_key spec in

@@ -16,8 +16,11 @@ type region_store = {
 type t = {
   arrays : (string, array_store) Hashtbl.t;
   regions : (string, region_store) Hashtbl.t;
-  (* (base, bytes) of every object, for home-node computation *)
-  extents : (int * int) list;
+  (* base address / byte size of every object in ascending base order, for
+     home-node computation. Two parallel arrays so [home_of_addr] — called
+     once per simulated L2 miss — can binary-search without allocating. *)
+  ext_base : int array;
+  ext_bytes : int array;
 }
 
 let round_up v align = (v + align - 1) / align * align
@@ -53,7 +56,15 @@ let create ?(base = 0x10000) ?(align = 64) (p : program) =
           rs_data = Array.make (r.node_count * slots) (Vint 0);
         })
     p.regions;
-  { arrays; regions; extents = List.rev !extents }
+  (* [alloc]'s cursor only moves forward, so reversing the accumulation
+     order yields ascending bases *)
+  let exts = Array.of_list (List.rev !extents) in
+  {
+    arrays;
+    regions;
+    ext_base = Array.map fst exts;
+    ext_bytes = Array.map snd exts;
+  }
 
 let find_array t name =
   match Hashtbl.find_opt t.arrays name with
@@ -150,7 +161,7 @@ let copy t =
   Hashtbl.iter
     (fun k r -> Hashtbl.replace regions k { r with rs_data = Array.copy r.rs_data })
     t.regions;
-  { arrays; regions; extents = t.extents }
+  { arrays; regions; ext_base = t.ext_base; ext_bytes = t.ext_bytes }
 
 let value_equal eps a b =
   match (a, b) with
@@ -193,14 +204,22 @@ let equal ?(eps = 1e-9) t1 t2 =
 let home_of_addr t ~nprocs addr =
   if nprocs <= 1 then 0
   else begin
-    let rec find = function
-      | [] -> 0
-      | (base, bytes) :: rest ->
-          if addr >= base && addr < base + bytes then begin
-            let chunk = (bytes + nprocs - 1) / nprocs in
-            min (nprocs - 1) ((addr - base) / max 1 chunk)
-          end
-          else find rest
-    in
-    find t.extents
+    (* greatest extent with base <= addr; bases are ascending *)
+    let lo = ref 0 and hi = ref (Array.length t.ext_base - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.ext_base.(mid) <= addr then begin
+        found := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    let i = !found in
+    if i < 0 || addr >= t.ext_base.(i) + t.ext_bytes.(i) then 0
+    else begin
+      let base = t.ext_base.(i) and bytes = t.ext_bytes.(i) in
+      let chunk = (bytes + nprocs - 1) / nprocs in
+      min (nprocs - 1) ((addr - base) / max 1 chunk)
+    end
   end

@@ -28,6 +28,7 @@ type t = {
   bus_data_occ : int;
   skewed_interleave : bool;
   smp : bool;
+  sim_mode : string option;
 }
 
 let base =
@@ -63,9 +64,12 @@ let base =
     bus_data_occ = 6;
     skewed_interleave = false;
     smp = false;
+    sim_mode = None;
   }
 
 let with_l2 bytes t = { t with l2_bytes = Some bytes }
+
+let with_sim_mode mode t = { t with sim_mode = Some mode }
 
 let ghz t =
   {
@@ -113,6 +117,7 @@ let exemplar_like =
     bus_data_occ = 8;
     skewed_interleave = true;
     smp = true;
+    sim_mode = None;
   }
 
 let pp ppf t =

@@ -41,6 +41,12 @@ type t = {
   skewed_interleave : bool;  (** skewed vs permutation bank interleaving *)
   smp : bool;  (** true: one bus + one bank set shared by all processors
                    (Exemplar hypernode); false: CC-NUMA per-node memory *)
+  sim_mode : string option;
+      (** simulation mode override for runs of this config, in
+          {!Machine.mode_of_string} syntax (["cycle"], ["event"],
+          ["sampled\[:period:window\[:warmup\]\]"]). [None] (the presets'
+          value) defers to the [MEMCLUST_SIM_MODE] environment variable,
+          then the exact event-driven mode. *)
 }
 
 val base : t
@@ -49,6 +55,11 @@ val base : t
 
 val with_l2 : int -> t -> t
 (** Override the L2 size (Table 1 uses 64 KB or 1 MB per application). *)
+
+val with_sim_mode : string -> t -> t
+(** Pin the simulation mode for runs of this config (parsed by
+    {!Machine.resolve_mode} at run time; an unparsable string fails
+    there). *)
 
 val ghz : t -> t
 (** 1 GHz variant: identical memory system in ns, so all memory-side

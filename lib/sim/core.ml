@@ -198,10 +198,10 @@ let version t line =
   | Some vw -> vw
   | None -> (0, -1)
 
-let miss_kind t ~writer addr =
+let miss_kind t ~writer ~home =
   if t.sh.nprocs = 1 then Memsys.Local
   else if writer >= 0 && writer <> t.proc then Memsys.Dirty_remote
-  else if t.sh.home addr = t.proc then Memsys.Local
+  else if home = t.proc then Memsys.Local
   else Memsys.Remote
 
 (* Demand load: [Some ready] or [None] when no MSHR is available. *)
@@ -238,8 +238,8 @@ let access_read t ~now addr =
           None
         end
         else begin
-          let kind = miss_kind t ~writer:w addr in
           let home = t.sh.home addr in
+          let kind = miss_kind t ~writer:w ~home in
           let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
           Hashtbl.add t.mshrs line
             { ready; has_read = true; has_write = false; prefetch_only = false };
@@ -287,8 +287,8 @@ let access_write t ~now addr =
       end
       else if Hashtbl.length t.mshrs >= cfg.Config.mshrs then None
       else begin
-        let kind = miss_kind t ~writer:w addr in
         let home = t.sh.home addr in
+        let kind = miss_kind t ~writer:w ~home in
         let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
         Hashtbl.add t.mshrs line
           { ready; has_read = false; has_write = true; prefetch_only = false };
@@ -324,8 +324,8 @@ let access_prefetch t ~now addr =
       if (not l1_hit) && (not l2_hit)
          && Hashtbl.length t.mshrs < cfg.Config.mshrs
       then begin
-        let kind = miss_kind t ~writer:w addr in
         let home = t.sh.home addr in
+        let kind = miss_kind t ~writer:w ~home in
         let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
         Hashtbl.add t.mshrs line
           { ready; has_read = false; has_write = false; prefetch_only = true };
@@ -746,3 +746,96 @@ let wbuf_full_events t = t.wbuf_full_events
 let prefetches t = t.prefetch_count
 let prefetch_misses t = t.prefetch_miss_count
 let late_prefetches t = t.late_prefetch_count
+
+(* ------------------------------------------------------------------ *)
+(* Functional warming (sampled mode).
+
+   The warm path applies only the architectural side effects of a memory
+   reference — cache contents and coherence versions — with no timing, no
+   MSHR allocation, no memory-system requests and no statistics, so the
+   fast-forward legs between detailed windows keep the locality state the
+   next window samples against. The detailed path fills caches at request
+   time (completion only matters for timing), so warming an address the
+   detailed window already touched is a hit and changes nothing. *)
+
+let trace t = t.trace
+let position t = t.head
+let shared t = t.sh
+
+let warm_read t addr =
+  let line = line_of t addr in
+  (* the MSHR table is almost always empty here (fast-forward runs after
+     a functional drain); [Hashtbl.length] is a field read, so this skips
+     a hash probe per warmed reference *)
+  if Hashtbl.length t.mshrs = 0 || not (Hashtbl.mem t.mshrs line) then begin
+    (* uniprocessor coherence versions never move (a line's version only
+       bumps when a different processor writes it), so the versions table
+       probe is pure overhead there *)
+    let v = if t.sh.nprocs = 1 then 0 else fst (version t line) in
+    if not (Cache.lookup t.l1 ~version:v ~addr) then begin
+      (match t.l2 with
+      | Some l2 when Cache.lookup l2 ~version:v ~addr -> ()
+      | Some l2 -> Cache.fill l2 ~version:v ~addr
+      | None -> ());
+      Cache.fill t.l1 ~version:v ~addr
+    end
+  end
+
+let warm_write t addr =
+  let line = line_of t addr in
+  let v' =
+    if t.sh.nprocs = 1 then 0
+    else begin
+      let v, w = version t line in
+      let v' = if w <> t.proc && w >= 0 then v + 1 else v in
+      Hashtbl.replace t.sh.versions line (v', t.proc);
+      v'
+    end
+  in
+  Cache.fill t.l1 ~version:v' ~addr;
+  Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2
+
+let warm_prefetch t addr = warm_read t addr
+
+(* A fast-forwarded store: apply the coherence effect now, but keep the
+   address queued (bounded by the buffer capacity) so the next detailed
+   window opens under realistic write-buffer pressure instead of an empty
+   buffer — store-bound codes are limited by the one-per-bus/bank drain
+   rate, and a window that starts empty under-measures that bound.
+   Re-draining an already-applied same-processor write is idempotent on
+   versions, so the timed drain in the next window only adds the timing. *)
+let warm_store t addr =
+  warm_write t addr;
+  Queue.push addr t.wpending;
+  if Queue.length t.wpending > t.sh.cfg.Config.write_buffer then
+    ignore (Queue.pop t.wpending)
+
+let warm_barrier t b =
+  if t.sh.reached.(t.proc) < b then t.sh.reached.(t.proc) <- b
+
+(* Functionally complete the reads the core has in flight; buffered
+   stores update caches/versions as if they had drained but stay queued
+   (their timed drain overlaps the next window, as it would have
+   overlapped the fast-forwarded region). *)
+let drain_functional t =
+  Queue.iter (fun addr -> warm_write t addr) t.wpending;
+  Pqueue.clear t.winflight;
+  Hashtbl.reset t.mshrs;
+  Pqueue.clear t.mshr_expiry;
+  t.mshr_read_occ <- 0
+
+(* Restart the core's pipeline state at trace index [at] with an empty
+   window, as if everything before [at] had retired. Requires
+   {!drain_functional} first (the in-flight heaps reference old slots);
+   the statistics counters are left alone — in sampled mode they only
+   ever feed window deltas. *)
+let reposition t ~at =
+  t.head <- at;
+  t.tail <- at;
+  t.pend_head <- -1;
+  t.pend_last <- -1;
+  t.branches <- 0;
+  Pqueue.clear t.done_heap;
+  Pqueue.clear t.wake_heap;
+  Array.fill t.wstalled 0 (Array.length t.wstalled) false;
+  t.progressed <- false

@@ -1,0 +1,39 @@
+open Memclust_codegen
+
+type charge = { ff_instructions : int; ff_cycles : int }
+
+let run core ?(max_barriers = max_int) ~upto ~cpi () =
+  let trace = Core.trace core in
+  let from = Core.position core in
+  let upto = min upto (Trace.length trace) in
+  (* complete the in-flight reads first: their cache effects must land
+     before the slice replays on top of them; buffered stores apply their
+     coherence effects but stay queued so the next detailed window opens
+     under realistic write-buffer pressure *)
+  Core.drain_functional core;
+  let i = ref from in
+  let barriers = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < upto do
+    (match Trace.kind trace !i with
+    | Trace.Load ->
+        Core.warm_read core (Trace.aux trace !i);
+        incr i
+    | Trace.Store ->
+        Core.warm_store core (Trace.aux trace !i);
+        incr i
+    | Trace.Prefetch_op ->
+        Core.warm_prefetch core (Trace.aux trace !i);
+        incr i
+    | Trace.Barrier_op ->
+        if !barriers >= max_barriers then stop := true
+        else begin
+          Core.warm_barrier core (Trace.aux trace !i);
+          incr barriers;
+          incr i
+        end
+    | Trace.Int_op | Trace.Fp_op | Trace.Branch -> incr i)
+  done;
+  Core.reposition core ~at:!i;
+  let n = !i - from in
+  { ff_instructions = n; ff_cycles = int_of_float (ceil (cpi *. float_of_int n)) }

@@ -1,0 +1,26 @@
+(** Functional fast-forward between detailed sampling windows.
+
+    Processes a slice of one processor's trace at memory-reference speed:
+    no instruction window, no issue logic, no memory-system timing — just
+    the architectural side effects that the next detailed window's
+    locality depends on (L1/L2 contents, coherence versions, barrier
+    progress, write-buffer occupancy), applied through {!Core}'s warm
+    path. Time is charged as a calibrated CPI (taken from the preceding
+    detailed window). *)
+
+type charge = {
+  ff_instructions : int;  (** trace entries skipped *)
+  ff_cycles : int;  (** cycles to advance the clock by *)
+}
+
+val run :
+  Core.t -> ?max_barriers:int -> upto:int -> cpi:float -> unit -> charge
+(** [run core ~upto ~cpi ()] drains the core's in-flight reads
+    functionally, warm-processes trace entries from the current
+    {!Core.position} up to (excluding) [upto] (clamped to the trace
+    length), and repositions the core there with an empty pipeline.
+    [ff_cycles] is [⌈cpi · ff_instructions⌉]. Stops early just before the
+    [max_barriers+1]-th barrier in the slice, so the caller can bound the
+    barrier-progress skew between processors whose traces interleave
+    barriers at different instruction densities. Safe on a finished or
+    empty slice. *)

@@ -35,14 +35,30 @@ type mode =
           jump [now] to the earliest pending completion event across all
           processors, replaying per-cycle statistics for the skipped
           cycles. Produces bit-identical {!result} values to {!Cycle}. *)
+  | Sampled of Sampling.params
+      (** systematic sampling: periodic detailed windows (run in event
+          mode, with a warm-up prefix excluded from statistics) separated
+          by functional fast-forward legs ({!Fastfwd}) charged at the
+          preceding window's CPI. Results are statistical estimates with
+          confidence intervals ({!run_estimated}); not bit-comparable to
+          the exact modes. *)
 
 val mode_of_string : string -> mode option
-(** Accepts ["cycle"] and ["event"] (case-insensitive). *)
+(** Accepts ["cycle"], ["event"] and
+    ["sampled\[:period:window\[:warmup\]\]"] (case-insensitive; see
+    {!Sampling.parse}). *)
+
+val mode_to_string : mode -> string
 
 val default_mode : unit -> mode
 (** [Event], unless overridden by the [MEMCLUST_SIM_MODE] environment
-    variable (["cycle"] or ["event"]). Raises [Invalid_argument] on any
-    other value of the variable. *)
+    variable (any {!mode_of_string} syntax). Raises [Invalid_argument] on
+    any other value of the variable. *)
+
+val resolve_mode : ?mode:mode -> Config.t -> mode
+(** The mode a run of [cfg] will use: an explicit [?mode] wins, then the
+    config's [sim_mode] string (parsed; raises [Invalid_argument] if
+    unparsable), then {!default_mode} (). *)
 
 val run :
   ?max_cycles:int ->
@@ -52,8 +68,23 @@ val run :
   Lower.t ->
   result
 (** Simulate the traces to completion. [home] maps byte addresses to their
-    home node. [mode] defaults to {!default_mode} (). Raises [Failure] if
-    [max_cycles] (default 400 million) is exceeded — a deadlock guard. *)
+    home node. [mode] defaults to {!resolve_mode} of the config. Raises
+    [Failure] if [max_cycles] (default 400 million) is exceeded — a
+    deadlock guard. In [Sampled] mode the result's counters are
+    extrapolated estimates; MSHR histograms cover only the detailed
+    windows, and bus/bank utilizations are measured over the detailed
+    cycles. *)
+
+val run_estimated :
+  ?max_cycles:int ->
+  ?mode:mode ->
+  Config.t ->
+  home:(int -> int) ->
+  Lower.t ->
+  result * Sampling.estimate option
+(** Like {!run}, additionally returning the sampling estimate (confidence
+    intervals, window counts) when the resolved mode is [Sampled]; [None]
+    for the exact modes. *)
 
 val ns_per_cycle : Config.t -> float
 

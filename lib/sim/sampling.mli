@@ -1,0 +1,89 @@
+(** Systematic-sampling estimator for the sampled simulation mode.
+
+    The sampled machine loop alternates short detailed windows with
+    functional fast-forward legs (see {!Fastfwd}). This module holds the
+    sampling parameters, the per-window measurement record, and the
+    extrapolation of whole-run statistics with per-metric 95% confidence
+    intervals ({!Memclust_util.Stats.mean_ci} over per-window rates).
+
+    Sampled mode is a reproduction aid for large problem sizes; it is not
+    part of the paper's methodology. *)
+
+type params = {
+  period : int;  (** retired instructions per processor between window starts *)
+  window : int;  (** detailed instructions per processor per window *)
+  warmup : int;
+      (** leading instructions of each window excluded from statistics
+          (they re-warm the pipeline after a fast-forward leg) *)
+}
+
+val default : params
+(** period 50 000, window 2 000, warmup 500. *)
+
+val validate : params -> bool
+(** [0 <= warmup < window < period]. *)
+
+val parse : string -> params option
+(** ["sampled"], ["sampled:PERIOD:WINDOW"] or
+    ["sampled:PERIOD:WINDOW:WARMUP"] (case-insensitive); warmup defaults
+    to a quarter of the window. [None] on anything else, including
+    parameter triples that fail {!validate}. *)
+
+val to_string : params -> string
+
+(** One detailed window's measured statistics: counter deltas between the
+    end of the warm-up prefix and the end of the window, summed over
+    processors. *)
+type sample = {
+  s_cycles : int;
+  s_instructions : int;
+  s_l2_misses : int;
+  s_read_misses : int;
+  s_read_miss_lat : float;  (** sum of per-miss latencies, cycles *)
+  s_l1_misses : int;
+  s_mshr_full : int;
+  s_wbuf_full : int;
+  s_prefetches : int;
+  s_prefetch_misses : int;
+  s_late_prefetches : int;
+}
+
+type ci = { est : float; half : float }
+(** A point estimate with the half-width of its 95% confidence interval. *)
+
+val in_ci : ci -> float -> bool
+(** [in_ci c v]: does [v] lie within the interval? *)
+
+type estimate = {
+  windows : int;
+  total_instructions : int;
+  measured_instructions : int;
+  detailed_cycles : int;  (** cycles spent in detailed windows (measured part) *)
+  cycles_ci : ci;
+  l2_misses_ci : ci;
+  read_misses_ci : ci;
+  read_miss_latency_ci : ci;  (** average cycles per read miss *)
+}
+
+val extrapolate_count :
+  sample list -> total:int -> (sample -> int) -> int
+(** Pooled per-instruction ratio estimate of a counter, scaled to [total]
+    instructions and rounded — the point estimator behind the interval
+    metrics, exposed for the counters the estimate does not interval. *)
+
+val estimate :
+  params ->
+  total_instructions:int ->
+  estimated_cycles:int ->
+  sample list ->
+  estimate
+(** Extrapolate. Counters use the pooled per-instruction ratio estimator
+    scaled to [total_instructions]; the cycle count is [estimated_cycles]
+    (the engine clock, which already integrates the CPI-charged
+    fast-forward legs) with a confidence term from the per-window CPI
+    spread. Every interval is additionally widened by a small fraction of
+    its point estimate as an allowance for the estimator's systematic
+    biases (warm-up length, fast-forward CPI) — see DESIGN.md. *)
+
+val pp : Format.formatter -> estimate -> unit
+val pp_ci : Format.formatter -> ci -> unit

@@ -89,3 +89,5 @@ let drop_min t =
       sift_down t
     end
   end
+
+let clear t = t.size <- 0

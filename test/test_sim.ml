@@ -457,6 +457,84 @@ let test_deadlock_guard_event () =
        false
      with Failure _ -> true)
 
+(* --------------------------- sampled mode --------------------------- *)
+
+let test_mode_of_string () =
+  let ts s = Option.map Machine.mode_to_string (Machine.mode_of_string s) in
+  let chk = Alcotest.(check (option string)) in
+  chk "cycle" (Some "cycle") (ts "cycle");
+  chk "event, case-insensitive" (Some "event") (ts "EVENT");
+  chk "sampled defaults"
+    (Some (Sampling.to_string Sampling.default))
+    (ts "sampled");
+  chk "sampled full triple" (Some "sampled:1000:100:25") (ts "sampled:1000:100:25");
+  chk "warmup defaults to window/4" (Some "sampled:1000:100:25")
+    (ts "sampled:1000:100");
+  chk "unknown mode" None (ts "fast");
+  chk "window must be below period" None (ts "sampled:100:200");
+  chk "junk params" None (ts "sampled:a:b")
+
+(* every tiny registry workload: the sampled estimate's 95% intervals
+   must cover the exact event-mode run for the headline metrics *)
+let test_sampled_within_ci () =
+  let open Memclust_workloads in
+  let params =
+    match Sampling.parse "sampled:2048:512:128" with
+    | Some p -> p
+    | None -> assert false
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let program = Memclust_ir.Program.renumber w.Workload.program in
+      let nprocs = max 1 w.Workload.mp_procs in
+      let cfg = Config.with_l2 w.Workload.l2_bytes Config.base in
+      let data = Memclust_ir.Data.create program in
+      w.Workload.init data;
+      let lowered = Lower.build ~nprocs program data in
+      let home = Memclust_ir.Data.home_of_addr data ~nprocs in
+      let exact = Machine.run cfg ~mode:Machine.Event ~home lowered in
+      let _, est =
+        Machine.run_estimated cfg ~mode:(Machine.Sampled params) ~home lowered
+      in
+      match est with
+      | None -> Alcotest.fail (w.Workload.name ^ ": no sampling estimate")
+      | Some est ->
+          let name m = w.Workload.name ^ ": exact " ^ m ^ " within CI" in
+          Alcotest.(check bool) (name "cycles") true
+            (Sampling.in_ci est.Sampling.cycles_ci
+               (float_of_int exact.Machine.cycles));
+          Alcotest.(check bool) (name "l2 misses") true
+            (Sampling.in_ci est.Sampling.l2_misses_ci
+               (float_of_int exact.Machine.l2_misses));
+          Alcotest.(check bool) (name "read-miss latency") true
+            (Sampling.in_ci est.Sampling.read_miss_latency_ci
+               exact.Machine.avg_read_miss_latency))
+    (Registry.small ())
+
+(* exact modes must return no estimate, and sampled totals must stay
+   exact where extrapolation plays no part *)
+let test_sampled_estimate_presence () =
+  let loads =
+    List.init 64 (fun i -> (Trace.Load, 0x40000 + (i * 64), -1, -1))
+  in
+  let lowered = { Lower.traces = [| mk_trace loads |]; barriers = 0 } in
+  let _, none =
+    Machine.run_estimated Config.base ~mode:Machine.Event ~home:(fun _ -> 0)
+      lowered
+  in
+  Alcotest.(check bool) "event: no estimate" true (none = None);
+  let params =
+    match Sampling.parse "sampled:48:16:4" with
+    | Some p -> p
+    | None -> assert false
+  in
+  let r, some =
+    Machine.run_estimated Config.base ~mode:(Machine.Sampled params)
+      ~home:(fun _ -> 0) lowered
+  in
+  Alcotest.(check bool) "sampled: estimate present" true (some <> None);
+  Alcotest.(check int) "instruction total stays exact" 64 r.Machine.instructions
+
 let test_simulation_deterministic () =
   let loads = List.init 16 (fun i -> (Trace.Load, 0x40000 + (i * 48), (if i mod 3 = 0 then -1 else i - 1), -1)) in
   let r1 = run_single loads in
@@ -515,5 +593,13 @@ let () =
           Alcotest.test_case "hides latency" `Quick test_prefetch_hides_latency;
           Alcotest.test_case "late prefetch" `Quick test_prefetch_late;
           Alcotest.test_case "never stalls" `Quick test_prefetch_never_stalls_retire;
+        ] );
+      ( "sampled-mode",
+        [
+          Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
+          Alcotest.test_case "estimate presence" `Quick
+            test_sampled_estimate_presence;
+          Alcotest.test_case "small workloads within CI" `Quick
+            test_sampled_within_ci;
         ] );
     ]

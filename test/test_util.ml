@@ -257,6 +257,84 @@ let prop_pqueue_sorted =
       let out = drain [] in
       out = List.sort compare l && Pqueue.is_empty q)
 
+(* the non-allocating accessors (min_prio / min_value / drop_min) must
+   observe exactly the sequence pop would return *)
+let prop_pqueue_min_accessors =
+  QCheck.Test.make ~name:"Pqueue min_prio/min_value/drop_min agree with pop"
+    ~count:300
+    QCheck.(list small_int)
+    (fun l ->
+      let q = Pqueue.create () and q' = Pqueue.create () in
+      List.iteri
+        (fun i p ->
+          Pqueue.push q p i;
+          Pqueue.push q' p i)
+        l;
+      let ok = ref true in
+      let rec drain () =
+        match Pqueue.pop q with
+        | None ->
+            if Pqueue.min_prio q' <> max_int || not (Pqueue.is_empty q') then
+              ok := false
+        | Some (p, v) ->
+            if Pqueue.min_prio q' <> p || Pqueue.min_value q' <> v then
+              ok := false;
+            Pqueue.drop_min q';
+            drain ()
+      in
+      drain ();
+      !ok)
+
+let prop_pqueue_fifo_ties =
+  QCheck.Test.make ~name:"Pqueue equal priorities pop in insertion order"
+    ~count:300
+    QCheck.(list (int_bound 3))
+    (fun l ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) l;
+      (* within one priority class, the payloads (insertion indices) must
+         come out increasing *)
+      let last = Hashtbl.create 8 in
+      let rec drain ok =
+        match Pqueue.pop q with
+        | None -> ok
+        | Some (p, i) ->
+            let fifo =
+              match Hashtbl.find_opt last p with None -> true | Some j -> j < i
+            in
+            Hashtbl.replace last p i;
+            drain (ok && fifo)
+      in
+      drain true)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q p p) [ 5; 1; 3 ];
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Pqueue.length q);
+  Alcotest.(check int) "min_prio sentinel" max_int (Pqueue.min_prio q);
+  Alcotest.(check (option (pair int int))) "pop none" None (Pqueue.pop q);
+  (* still usable after clear, and drop_min on empty stays a no-op *)
+  Pqueue.drop_min q;
+  Pqueue.push q 2 42;
+  Alcotest.(check (option (pair int int))) "reusable" (Some (2, 42)) (Pqueue.pop q)
+
+(* ----------------------------- mean_ci ----------------------------- *)
+
+let test_mean_ci () =
+  let m, h = Stats.mean_ci [| 4.0; 4.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "constant mean" 4.0 m;
+  Alcotest.(check (float 1e-9)) "constant half-width" 0.0 h;
+  let m, h = Stats.mean_ci [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 m;
+  (* s = 1, n = 3, t(df=2) = 4.303 -> half = 4.303/sqrt 3 *)
+  Alcotest.(check (float 1e-3)) "half-width" (4.303 /. sqrt 3.0) h;
+  let _, h1 = Stats.mean_ci [| 1.0 |] in
+  Alcotest.(check (float 1e-9)) "single sample" 0.0 h1;
+  let _, h0 = Stats.mean_ci [||] in
+  Alcotest.(check (float 1e-9)) "no samples" 0.0 h0
+
 let () =
   Alcotest.run "util"
     [
@@ -304,6 +382,10 @@ let () =
         [
           Alcotest.test_case "order" `Quick test_pqueue_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
           qtest prop_pqueue_sorted;
+          qtest prop_pqueue_min_accessors;
+          qtest prop_pqueue_fifo_ties;
         ] );
+      ("stats-ci", [ Alcotest.test_case "mean_ci" `Quick test_mean_ci ]);
     ]
