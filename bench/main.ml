@@ -424,6 +424,9 @@ let run_sim args =
   write_sim_json (List.rev !rows) (List.rev !ratio_checks)
 
 let () =
+  (* fail fast if a preset was edited into an inconsistent state *)
+  List.iter Config.validate_exn
+    [ Config.base; Config.exemplar_like; Config.three_level ];
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [] ->

@@ -4,6 +4,7 @@
      list                      — list experiments and workloads
      experiment <id> [...]     — reproduce a table/figure by id
      run <workload>            — base-vs-clustered on one workload
+     sweep [<workload>..]      — lp / line-size sensitivity sweep (JSON)
      show <workload>           — print base and transformed IR
      analyze <workload>        — locality / dependence / f analyses
      trace [<workload>..]      — per-pass pipeline instrumentation *)
@@ -149,6 +150,116 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ workload_arg $ procs_arg $ sim_mode_arg $ sample_period_arg)
+
+(* lp / line-size sensitivity sweep: re-cluster and re-simulate the
+   workload for every (MSHR count, line size) point. The clustering
+   pipeline keys on the analysis machine model, so each point gets a
+   transformation tuned to its lp — the paper's f >= alpha * lp rule
+   means the base/clustered speedup should saturate once lp reaches the
+   loop's achievable parallelism. *)
+let sweep_cmd =
+  let doc =
+    "Sweep MSHR count (the outstanding-miss bound lp) and line size, \
+     re-clustering for each point, and write the base/clustered cycle \
+     counts to a JSON file."
+  in
+  let workloads_arg =
+    let doc = "Workloads to sweep (default: Latbench)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let mshrs_arg =
+    let doc = "Comma-separated MSHR counts to sweep." in
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 1; 2; 4; 8; 16 ]
+      & info [ "mshrs" ] ~docv:"N,.." ~doc)
+  in
+  let line_arg =
+    let doc = "Comma-separated line sizes (bytes) to sweep." in
+    Arg.(
+      value
+      & opt (list ~sep:',' int)
+          [ Config.line Config.base ]
+      & info [ "line" ] ~docv:"BYTES,.." ~doc)
+  in
+  let out_arg =
+    let doc = "Output JSON file." in
+    Arg.(
+      value & opt string "BENCH_sweep.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run names mshrs lines out mode period =
+    apply_sim_flags mode period;
+    let ws =
+      match names with [] -> [ Registry.latbench () ] | ns -> List.map lookup ns
+    in
+    let points =
+      List.concat_map
+        (fun m -> List.map (fun l -> (m, l)) lines)
+        mshrs
+    in
+    let configs =
+      List.map
+        (fun (m, l) ->
+          let cfg =
+            { (Config.base |> Config.with_mshrs m |> Config.with_line l) with
+              Config.name = Printf.sprintf "base-m%d-l%d" m l
+            }
+          in
+          (match Config.validate cfg with
+          | Ok () -> ()
+          | Error msg ->
+              Printf.eprintf "invalid sweep point (mshrs=%d, line=%d): %s\n" m l
+                msg;
+              exit 1);
+          (m, l, cfg))
+        points
+    in
+    let rows =
+      List.concat_map
+        (fun (w : Workload.t) ->
+          let nprocs = max 1 w.Workload.mp_procs in
+          Printf.printf "== %s ==\n%-6s %-6s %10s %10s %8s %10s %10s\n%!"
+            w.Workload.name "mshrs" "line" "base" "clustered" "speedup"
+            "b.full" "c.full";
+          List.map
+            (fun (m, l, cfg) ->
+              let go version =
+                Experiment.execute_cached
+                  { Experiment.workload = w; config = cfg; nprocs; version }
+              in
+              let b = go Experiment.Base in
+              let c = go Experiment.Clustered in
+              let bc = Experiment.exec_cycles b
+              and cc = Experiment.exec_cycles c in
+              let speedup = float_of_int bc /. float_of_int cc in
+              Printf.printf "%-6d %-6d %10d %10d %8.3f %10d %10d\n%!" m l bc cc
+                speedup b.Experiment.result.Machine.mshr_full_events
+                c.Experiment.result.Machine.mshr_full_events;
+              Printf.sprintf
+                "  {\"workload\": %S, \"mshrs\": %d, \"line\": %d, \
+                 \"base_cycles\": %d, \"clustered_cycles\": %d, \"speedup\": \
+                 %.4f, \"base_mshr_full\": %d, \"clustered_mshr_full\": %d, \
+                 \"base_read_miss_latency\": %.2f, \
+                 \"clustered_read_miss_latency\": %.2f}"
+                w.Workload.name m l bc cc speedup
+                b.Experiment.result.Machine.mshr_full_events
+                c.Experiment.result.Machine.mshr_full_events
+                b.Experiment.result.Machine.avg_read_miss_latency
+                c.Experiment.result.Machine.avg_read_miss_latency)
+            configs)
+        ws
+    in
+    let oc = open_out out in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n]\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d points)\n" out (List.length rows)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ workloads_arg $ mshrs_arg $ line_arg $ out_arg $ sim_mode_arg
+      $ sample_period_arg)
 
 let analyze_cmd =
   let doc =
@@ -325,7 +436,18 @@ let () =
      (Pai & Adve, MICRO-32 1999)"
   in
   let info = Cmd.info "repro" ~doc in
+  (* fail fast if a preset was edited into an inconsistent state *)
+  List.iter Config.validate_exn
+    [ Config.base; Config.exemplar_like; Config.three_level ];
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; run_cmd; show_cmd; analyze_cmd; trace_cmd ]))
+          [
+            list_cmd;
+            experiment_cmd;
+            run_cmd;
+            sweep_cmd;
+            show_cmd;
+            analyze_cmd;
+            trace_cmd;
+          ]))

@@ -26,8 +26,10 @@ type outcome = {
 let machine_of_config (cfg : Config.t) =
   {
     Machine_model.window = cfg.Config.window;
-    mshrs = cfg.Config.mshrs;
-    line_size = cfg.Config.line;
+    (* the effective outstanding-miss bound: the smallest MSHR file in
+       the hierarchy stack *)
+    mshrs = Config.lp cfg;
+    line_size = Config.line cfg;
     max_unroll = 16;
     max_procs = 16;
   }
@@ -62,9 +64,9 @@ let transform (cfg : Config.t) (w : Workload.t) =
       Driver.run ~options ~init:w.Workload.init w.Workload.program)
 
 let scaled_config (cfg : Config.t) (w : Workload.t) =
-  match cfg.Config.l2_bytes with
-  | None -> cfg
-  | Some _ -> Config.with_l2 w.Workload.l2_bytes cfg
+  (* single-level hierarchies (Exemplar) keep their cache; multi-level
+     stacks scale the memory-side level per the workload class *)
+  if Config.depth cfg >= 2 then Config.with_l2 w.Workload.l2_bytes cfg else cfg
 
 (* Lowered traces depend only on (program, workload init, nprocs) — not on
    the simulated machine — so one lowering serves every config that
@@ -129,7 +131,7 @@ let execute spec =
         let p, _ =
           Memclust_transform.Prefetch_pass.insert
             ~latency:cfg.Config.mem_lat ~issue_width:cfg.Config.issue_width
-            ~line_size:cfg.Config.line
+            ~line_size:(Config.line cfg)
             (Program.renumber spec.workload.Workload.program)
         in
         (p, None)
@@ -138,7 +140,7 @@ let execute spec =
         let p, _ =
           Memclust_transform.Prefetch_pass.insert
             ~latency:cfg.Config.mem_lat ~issue_width:cfg.Config.issue_width
-            ~line_size:cfg.Config.line p
+            ~line_size:(Config.line cfg) p
         in
         (p, Some r)
   in

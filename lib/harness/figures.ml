@@ -520,7 +520,8 @@ let mshr_sweep () =
     ]
   in
   let sweep_config mshrs =
-    { Config.base with Config.mshrs; name = Printf.sprintf "base-mshr%d" mshrs }
+    { (Config.with_mshrs mshrs Config.base) with
+      Config.name = Printf.sprintf "base-mshr%d" mshrs }
   in
   prewarm
     (List.concat_map

@@ -28,3 +28,26 @@ let scale t k =
 let pp ppf t =
   Format.fprintf ppf "busy %.0f / cpu-stall %.0f / data %.0f / sync %.0f" t.busy
     t.cpu_stall t.data_stall t.sync_stall
+
+(* ------------------------------------------------------------------ *)
+(* Per-level demand-load attribution (replaces the old hardcoded L1/L2
+   counter pair: one row per hierarchy level, however deep the stack). *)
+
+type level_stat = {
+  lv_name : string;
+  mutable lv_hits : int;
+  mutable lv_misses : int;
+}
+
+let level_create name = { lv_name = name; lv_hits = 0; lv_misses = 0 }
+
+let level_add t u =
+  t.lv_hits <- t.lv_hits + u.lv_hits;
+  t.lv_misses <- t.lv_misses + u.lv_misses
+
+let pp_levels ppf ls =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf l ->
+      Format.fprintf ppf "%s %d hit / %d miss" l.lv_name l.lv_hits l.lv_misses)
+    ppf (Array.to_list ls)

@@ -19,3 +19,21 @@ val cpu : t -> float
 val add : t -> t -> unit
 val scale : t -> float -> t
 val pp : Format.formatter -> t -> unit
+
+(** {2 Per-level demand-load attribution}
+
+    One row per hierarchy level (processor side first), replacing the old
+    hardcoded L1/L2 counter pair: hits and misses of demand loads probing
+    that level. A load that misses every level appears as a miss in each
+    row; level [k]'s hits are loads satisfied there after missing levels
+    above. *)
+
+type level_stat = {
+  lv_name : string;
+  mutable lv_hits : int;
+  mutable lv_misses : int;
+}
+
+val level_create : string -> level_stat
+val level_add : level_stat -> level_stat -> unit
+val pp_levels : Format.formatter -> level_stat array -> unit

@@ -2,6 +2,7 @@ type t = {
   assoc : int;
   sets : int;
   shift : int;
+  line : int;
   tags : int array;  (* line address or -1 *)
   vers : int array;
   ages : int array;
@@ -19,17 +20,24 @@ let create ~bytes ~assoc ~line =
     assoc;
     sets;
     shift = log2 line;
+    line;
     tags = Array.make (sets * assoc) (-1);
     vers = Array.make (sets * assoc) 0;
     ages = Array.make (sets * assoc) 0;
     clock = 0;
   }
 
+let assoc t = t.assoc
+let sets t = t.sets
+let line_size t = t.line
+
 let line_of t addr = addr lsr t.shift
+
+let set_base t line = line mod t.sets * t.assoc
 
 let lookup t ~version ~addr =
   let line = addr lsr t.shift in
-  let base = line mod t.sets * t.assoc in
+  let base = set_base t line in
   t.clock <- t.clock + 1;
   let hit = ref false in
   for w = base to base + t.assoc - 1 do
@@ -40,9 +48,20 @@ let lookup t ~version ~addr =
   done;
   !hit
 
+(* side-effect-free probe: no LRU refresh, no clock tick — for
+   inspection (tests) only, never on a simulated access path *)
+let resident t ~version ~addr =
+  let line = addr lsr t.shift in
+  let base = set_base t line in
+  let hit = ref false in
+  for w = base to base + t.assoc - 1 do
+    if t.tags.(w) = line && t.vers.(w) = version then hit := true
+  done;
+  !hit
+
 let fill t ~version ~addr =
   let line = addr lsr t.shift in
-  let base = line mod t.sets * t.assoc in
+  let base = set_base t line in
   t.clock <- t.clock + 1;
   (* reuse an existing copy of the line if present, else evict LRU *)
   let victim = ref base in

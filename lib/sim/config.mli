@@ -1,9 +1,19 @@
 (** Simulated machine configurations (paper Table 1 and §4.1).
 
-    All latencies are in processor cycles; the uncontended end-to-end
-    memory latencies ([mem_lat], [remote_lat], [c2c_lat]) already include
-    the bus and bank occupancies, which the memory system subtracts when
-    computing contention. *)
+    The cache hierarchy is a list of {!level}s, processor side first; the
+    last level is the memory-side one, whose line size sets the coherence
+    and memory-transfer granularity. All latencies are in processor
+    cycles; the uncontended end-to-end memory latencies ([mem_lat],
+    [remote_lat], [c2c_lat]) already include the bus and bank occupancies,
+    which the memory system subtracts when computing contention. *)
+
+type level = {
+  bytes : int;  (** capacity, bytes (power of two) *)
+  assoc : int;  (** set associativity *)
+  line : int;  (** line size, bytes (power of two) *)
+  lat : int;  (** hit latency at this level, cycles *)
+  mshrs : int;  (** MSHR file capacity at this level *)
+}
 
 type t = {
   name : string;
@@ -17,15 +27,8 @@ type t = {
   alus : int;
   fpus : int;
   addr_units : int;
-  (* caches *)
-  line : int;  (** cache line size, bytes *)
-  l1_bytes : int;
-  l1_assoc : int;
-  l1_lat : int;
-  l2_bytes : int option;  (** [None]: single-level hierarchy (Exemplar) *)
-  l2_assoc : int;
-  l2_lat : int;
-  mshrs : int;
+  (* memory hierarchy, processor side first *)
+  levels : level list;
   write_buffer : int;
   (* memory system *)
   mem_lat : int;  (** local memory, uncontended *)
@@ -49,12 +52,45 @@ type t = {
           then the exact event-driven mode. *)
 }
 
+val levels : t -> level list
+val depth : t -> int
+
+val line : t -> int
+(** Coherence / memory-transfer line size: the last (memory-side)
+    level's. *)
+
+val lp : t -> int
+(** The outstanding-miss bound: a miss holds an MSHR at every level, so
+    the smallest file in the stack caps memory parallelism (the paper's
+    [lp]). 0 for an empty stack. *)
+
 val base : t
 (** The paper's base system: 500 MHz, 4-wide, 64-entry window, 16 KB L1,
-    64 KB 4-way L2, 10 MSHRs, 64 B lines, 85-cycle local memory. *)
+    64 KB 4-way L2, 10 MSHRs per level, 64 B lines, 85-cycle local
+    memory. *)
+
+val exemplar_like : t
+(** Convex Exemplar-like SMP node: 4-wide PA-8000-ish core, 56-entry
+    window, single-level 1 MB cache with 32 B lines, 10 outstanding
+    misses, skewed interleaving, shared bus and banks. *)
+
+val three_level : t
+(** Base core over a 3-level stack (16 KB L1 / 64 KB L2 / 512 KB L3) with
+    MSHR files shrinking toward memory (lp = 10 at the L3). *)
+
+val with_levels : level list -> t -> t
 
 val with_l2 : int -> t -> t
-(** Override the L2 size (Table 1 uses 64 KB or 1 MB per application). *)
+(** Resize the last (memory-side) level of a multi-level stack (Table 1
+    uses 64 KB or 1 MB per application). No-op on a single-level
+    hierarchy. *)
+
+val with_mshrs : int -> t -> t
+(** Set every level's MSHR file capacity (so [lp] becomes that value on a
+    uniform stack). *)
+
+val with_line : int -> t -> t
+(** Set every level's line size. *)
 
 val with_sim_mode : string -> t -> t
 (** Pin the simulation mode for runs of this config (parsed by
@@ -63,11 +99,15 @@ val with_sim_mode : string -> t -> t
 
 val ghz : t -> t
 (** 1 GHz variant: identical memory system in ns, so all memory-side
-    latencies double in cycles (§5.2). *)
+    latencies (every level but the L1 included) double in cycles (§5.2). *)
 
-val exemplar_like : t
-(** Convex Exemplar-like SMP node: 4-wide PA-8000-ish core, 56-entry
-    window, single-level 1 MB cache with 32 B lines, 10 outstanding
-    misses, skewed interleaving, shared bus and banks. *)
+val validate : t -> (unit, string) result
+(** Structural sanity: at least one level; positive widths, window,
+    functional units, write buffer, banks and per-level MSHR counts;
+    power-of-two line and cache sizes; capacity at least one set; sizes
+    and line sizes non-decreasing toward memory. *)
+
+val validate_exn : t -> unit
+(** Raises [Invalid_argument] with {!validate}'s message. *)
 
 val pp : Format.formatter -> t -> unit

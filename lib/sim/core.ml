@@ -2,19 +2,8 @@ open Memclust_util
 open Memclust_codegen
 
 type shared = {
-  cfg : Config.t;
-  mem : Memsys.t;
-  versions : (int, int * int) Hashtbl.t;
-  home : int -> int;
+  h : Hierarchy.shared;
   reached : int array;
-  nprocs : int;
-}
-
-type mshr_entry = {
-  mutable ready : int;
-  mutable has_read : bool;
-  mutable has_write : bool;
-  mutable prefetch_only : bool;  (* allocated by a prefetch, no demand yet *)
 }
 
 (* Per-cycle statistic deltas of the last step, replayed when the machine
@@ -32,20 +21,12 @@ type t = {
   proc : int;
   trace : Trace.t;
   sh : shared;
+  h : Hierarchy.t;  (* this processor's cache/MSHR stack *)
   ring_mask : int;
       (* ring capacity - 1; capacity is the next power of two >= cfg.window
          so the per-slot index reduction is a mask, not a division (the
          issue scan does it billions of times). Any window-length index
          range still maps to distinct slots. *)
-  line_shift : int;  (* log2 cfg.line, or -1 when not a power of two *)
-  l1 : Cache.t;
-  l2 : Cache.t option;
-  mshrs : (int, mshr_entry) Hashtbl.t;
-  (* min-heap of MSHR completion times, kept in sync with [mshrs]: every
-     allocation pushes (ready, line), cleanup pops expired entries, so no
-     per-cycle fold over the table is needed *)
-  mshr_expiry : int Pqueue.t;
-  mutable mshr_read_occ : int;  (* entries with [has_read] *)
   (* reorder buffer: ring over trace indices [head, tail) *)
   state : int array;  (* 0 = waiting, 1 = scheduled/completed *)
   done_at : int array;
@@ -93,59 +74,42 @@ type t = {
      (as opposed to only accumulating per-cycle statistics)? *)
   mutable progressed : bool;
   fd : deltas;
-  mutable d_l1_miss : int;
+  (* retry-cycle statistic deltas of the last step, replayed alongside
+     [fd]: per-level demand-miss counts and MSHR-full rejections (a load
+     rejected on full MSHRs re-walks — and re-misses — every level each
+     retry cycle). [lvl_snap] is the scratch snapshot of the hierarchy's
+     live counters at step entry. *)
+  d_level_miss : int array;
+  lvl_snap : int array;
   mutable d_mshr_full : int;
-  (* statistics *)
+  (* statistics (pipeline-owned; memory-side counters live in [h]) *)
   bd : Breakdown.t;
-  mutable l2_miss_count : int;
-  mutable read_miss_count : int;
-  mutable read_miss_lat : float;
   mutable retired_count : int;
-  mutable l1_miss_count : int;
-  mutable mshr_full_events : int;
   mutable wbuf_full_events : int;
-  mutable prefetch_count : int;
-  mutable prefetch_miss_count : int;  (* prefetches that went to memory *)
-  mutable late_prefetch_count : int;  (* demand loads catching an in-flight prefetch *)
 }
 
 let make_shared cfg ~nprocs ~home =
   {
-    cfg;
-    mem = Memsys.create cfg ~nprocs;
-    versions = Hashtbl.create 4096;
-    home;
+    h = Hierarchy.make_shared cfg ~nprocs ~home;
     reached = Array.make nprocs 0;
-    nprocs;
   }
 
-let create sh ~proc trace =
-  let cfg = sh.cfg in
+let cfg_of t = t.sh.h.Hierarchy.cfg
+
+let create (sh : shared) ~proc trace =
+  let cfg = sh.h.Hierarchy.cfg in
   let cap =
     let rec up n = if n >= cfg.Config.window then n else up (n * 2) in
     up 1
   in
+  let h = Hierarchy.create sh.h ~proc in
+  let nlevels = Hierarchy.depth h in
   {
     proc;
     trace;
     sh;
+    h;
     ring_mask = cap - 1;
-    line_shift =
-      (let l = cfg.Config.line in
-       if l > 0 && l land (l - 1) = 0 then
-         let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
-         log2 l 0
-       else -1);
-    l1 = Cache.create ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
-        ~line:cfg.Config.line;
-    l2 =
-      Option.map
-        (fun bytes ->
-          Cache.create ~bytes ~assoc:cfg.Config.l2_assoc ~line:cfg.Config.line)
-        cfg.Config.l2_bytes;
-    mshrs = Hashtbl.create 32;
-    mshr_expiry = Pqueue.create ();
-    mshr_read_occ = 0;
     state = Array.make cap 0;
     done_at = Array.make cap 0;
     head = 0;
@@ -172,185 +136,20 @@ let create sh ~proc trace =
        scan 0);
     progressed = false;
     fd = { d_busy = 0.0; d_cpu_stall = 0.0; d_data_stall = 0.0; d_sync_stall = 0.0 };
-    d_l1_miss = 0;
+    d_level_miss = Array.make nlevels 0;
+    lvl_snap = Array.make nlevels 0;
     d_mshr_full = 0;
     bd = Breakdown.create ();
-    l2_miss_count = 0;
-    read_miss_count = 0;
-    read_miss_lat = 0.0;
     retired_count = 0;
-    l1_miss_count = 0;
-    mshr_full_events = 0;
     wbuf_full_events = 0;
-    prefetch_count = 0;
-    prefetch_miss_count = 0;
-    late_prefetch_count = 0;
   }
 
 let slot t i = i land t.ring_mask
 
-let line_of t addr =
-  if t.line_shift >= 0 then addr lsr t.line_shift
-  else addr / t.sh.cfg.Config.line
-
-let version t line =
-  match Hashtbl.find_opt t.sh.versions line with
-  | Some vw -> vw
-  | None -> (0, -1)
-
-let miss_kind t ~writer ~home =
-  if t.sh.nprocs = 1 then Memsys.Local
-  else if writer >= 0 && writer <> t.proc then Memsys.Dirty_remote
-  else if home = t.proc then Memsys.Local
-  else Memsys.Remote
-
-(* Demand load: [Some ready] or [None] when no MSHR is available. *)
-let access_read t ~now addr =
-  let cfg = t.sh.cfg in
-  let line = line_of t addr in
-  match Hashtbl.find_opt t.mshrs line with
-  | Some e ->
-      if e.prefetch_only then begin
-        (* the prefetch launched the line but too late to hide it fully *)
-        t.late_prefetch_count <- t.late_prefetch_count + 1;
-        e.prefetch_only <- false
-      end;
-      if not e.has_read then begin
-        e.has_read <- true;
-        t.mshr_read_occ <- t.mshr_read_occ + 1
-      end;
-      Some e.ready
-  | None ->
-      let v, w = version t line in
-      if Cache.lookup t.l1 ~version:v ~addr then Some (now + cfg.Config.l1_lat)
-      else begin
-        t.l1_miss_count <- t.l1_miss_count + 1;
-        let l2_hit =
-          match t.l2 with
-          | Some l2 when Cache.lookup l2 ~version:v ~addr ->
-              Cache.fill t.l1 ~version:v ~addr;
-              true
-          | _ -> false
-        in
-        if l2_hit then Some (now + cfg.Config.l2_lat)
-        else if Hashtbl.length t.mshrs >= cfg.Config.mshrs then begin
-          t.mshr_full_events <- t.mshr_full_events + 1;
-          None
-        end
-        else begin
-          let home = t.sh.home addr in
-          let kind = miss_kind t ~writer:w ~home in
-          let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
-          Hashtbl.add t.mshrs line
-            { ready; has_read = true; has_write = false; prefetch_only = false };
-          Pqueue.push t.mshr_expiry ready line;
-          t.mshr_read_occ <- t.mshr_read_occ + 1;
-          Cache.fill t.l1 ~version:v ~addr;
-          Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
-          t.l2_miss_count <- t.l2_miss_count + 1;
-          t.read_miss_count <- t.read_miss_count + 1;
-          t.read_miss_lat <- t.read_miss_lat +. float_of_int (ready - now);
-          Some ready
-        end
-      end
-
-(* Write-buffer drain access (write-allocate). *)
-let access_write t ~now addr =
-  let cfg = t.sh.cfg in
-  let line = line_of t addr in
-  let v, w = version t line in
-  (* coherence: a write by a new owner invalidates all other copies *)
-  let v' = if w <> t.proc && w >= 0 then v + 1 else v in
-  let commit () = Hashtbl.replace t.sh.versions line (v', t.proc) in
-  match Hashtbl.find_opt t.mshrs line with
-  | Some e ->
-      e.has_write <- true;
-      commit ();
-      Cache.fill t.l1 ~version:v' ~addr;
-      Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
-      Some e.ready
-  | None ->
-      let owned = w = t.proc || w < 0 in
-      let l1_hit = owned && Cache.lookup t.l1 ~version:v ~addr in
-      let l2_hit =
-        owned
-        &&
-        match t.l2 with
-        | Some l2 -> Cache.lookup l2 ~version:v ~addr
-        | None -> false
-      in
-      if l1_hit || l2_hit then begin
-        commit ();
-        Cache.fill t.l1 ~version:v' ~addr;
-        Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
-        Some (now + if l1_hit then cfg.Config.l1_lat else cfg.Config.l2_lat)
-      end
-      else if Hashtbl.length t.mshrs >= cfg.Config.mshrs then None
-      else begin
-        let home = t.sh.home addr in
-        let kind = miss_kind t ~writer:w ~home in
-        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
-        Hashtbl.add t.mshrs line
-          { ready; has_read = false; has_write = true; prefetch_only = false };
-        Pqueue.push t.mshr_expiry ready line;
-        commit ();
-        Cache.fill t.l1 ~version:v' ~addr;
-        Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2;
-        t.l2_miss_count <- t.l2_miss_count + 1;
-        Some ready
-      end
-
-(* Non-binding prefetch: fills the caches if it can get an MSHR, is
-   dropped when the line is already present/in flight or when no MSHR is
-   available (as hardware drops hint prefetches under pressure). *)
-let access_prefetch t ~now addr =
-  let cfg = t.sh.cfg in
-  let line = line_of t addr in
-  t.prefetch_count <- t.prefetch_count + 1;
-  match Hashtbl.find_opt t.mshrs line with
-  | Some _ -> ()
-  | None ->
-      let v, w = version t line in
-      let l1_hit = Cache.lookup t.l1 ~version:v ~addr in
-      let l2_hit =
-        (not l1_hit)
-        &&
-        match t.l2 with
-        | Some l2 when Cache.lookup l2 ~version:v ~addr ->
-            Cache.fill t.l1 ~version:v ~addr;
-            true
-        | _ -> false
-      in
-      if (not l1_hit) && (not l2_hit)
-         && Hashtbl.length t.mshrs < cfg.Config.mshrs
-      then begin
-        let home = t.sh.home addr in
-        let kind = miss_kind t ~writer:w ~home in
-        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
-        Hashtbl.add t.mshrs line
-          { ready; has_read = false; has_write = false; prefetch_only = true };
-        Pqueue.push t.mshr_expiry ready line;
-        Cache.fill t.l1 ~version:v ~addr;
-        Option.iter (fun l2 -> Cache.fill l2 ~version:v ~addr) t.l2;
-        t.prefetch_miss_count <- t.prefetch_miss_count + 1
-      end
-
 (* ------------------------------------------------------------------ *)
 
-(* [ready] is immutable after allocation, so the heap never holds stale
-   priorities: popping everything with [ready <= now] removes exactly the
-   entries the per-cycle fold over the table used to find. *)
 let cleanup_mshrs t ~now =
-  while Pqueue.min_prio t.mshr_expiry <= now do
-    let line = Pqueue.min_value t.mshr_expiry in
-    Pqueue.drop_min t.mshr_expiry;
-    (match Hashtbl.find_opt t.mshrs line with
-    | Some e ->
-        if e.has_read then t.mshr_read_occ <- t.mshr_read_occ - 1;
-        Hashtbl.remove t.mshrs line
-    | None -> ());
-    t.progressed <- true
-  done
+  if Hierarchy.cleanup t.h ~now then t.progressed <- true
 
 let drain_wbuf t ~now =
   while Pqueue.min_prio t.winflight <= now do
@@ -359,7 +158,7 @@ let drain_wbuf t ~now =
   done;
   if not (Queue.is_empty t.wpending) then begin
     let addr = Queue.peek t.wpending in
-    match access_write t ~now addr with
+    match Hierarchy.write t.h ~now addr with
     | Some completion ->
         ignore (Queue.pop t.wpending);
         Pqueue.push t.winflight completion ();
@@ -383,7 +182,7 @@ let barrier_satisfied t aux =
   !ok
 
 let retire t ~now =
-  let cfg = t.sh.cfg in
+  let cfg = cfg_of t in
   let width = cfg.Config.retire_width in
   let r = ref 0 in
   let stall_category = ref None in
@@ -516,7 +315,7 @@ let issue t ~now =
   done;
   if t.pend_head < 0 then t.pend_last <- -1;
   wake_sleepers t ~now;
-  let cfg = t.sh.cfg in
+  let cfg = cfg_of t in
   let issue_width = cfg.Config.issue_width in
   let alus = cfg.Config.alus
   and fpus = cfg.Config.fpus
@@ -591,7 +390,7 @@ let issue t ~now =
                  t.done_at.(s) <- now + Trace.aux t.trace i;
                  mark_issued s
              | Trace.Load -> (
-                 match access_read t ~now (Trace.aux t.trace i) with
+                 match Hierarchy.read t.h ~now (Trace.aux t.trace i) with
                  | Some ready ->
                      incr mem_u;
                      t.done_at.(s) <- ready;
@@ -614,7 +413,7 @@ let issue t ~now =
                  end
              | Trace.Prefetch_op ->
                  incr mem_u;
-                 access_prefetch t ~now (Trace.aux t.trace i);
+                 Hierarchy.prefetch t.h ~now (Trace.aux t.trace i);
                  t.done_at.(s) <- now;
                  mark_issued s
              | Trace.Barrier_op ->
@@ -635,7 +434,7 @@ let issue t ~now =
   done
 
 let fetch t =
-  let cfg = t.sh.cfg in
+  let cfg = cfg_of t in
   let len = Trace.length t.trace in
   let fetched = ref 0 in
   while
@@ -675,8 +474,9 @@ let step t ~now =
   and cpu0 = t.bd.Breakdown.cpu_stall
   and data0 = t.bd.Breakdown.data_stall
   and sync0 = t.bd.Breakdown.sync_stall
-  and l1m0 = t.l1_miss_count
-  and mf0 = t.mshr_full_events in
+  and mf0 = Hierarchy.mshr_full_events t.h in
+  let live_misses = Hierarchy.level_miss_counts t.h in
+  Array.blit live_misses 0 t.lvl_snap 0 (Array.length t.lvl_snap);
   cleanup_mshrs t ~now;
   drain_done t ~now;
   drain_wbuf t ~now;
@@ -687,8 +487,10 @@ let step t ~now =
   t.fd.d_cpu_stall <- t.bd.Breakdown.cpu_stall -. cpu0;
   t.fd.d_data_stall <- t.bd.Breakdown.data_stall -. data0;
   t.fd.d_sync_stall <- t.bd.Breakdown.sync_stall -. sync0;
-  t.d_l1_miss <- t.l1_miss_count - l1m0;
-  t.d_mshr_full <- t.mshr_full_events - mf0
+  for i = 0 to Array.length t.lvl_snap - 1 do
+    t.d_level_miss.(i) <- live_misses.(i) - t.lvl_snap.(i)
+  done;
+  t.d_mshr_full <- Hierarchy.mshr_full_events t.h - mf0
 
 let progressed t = t.progressed
 
@@ -708,12 +510,12 @@ let replay_idle t ~times =
       t.bd.Breakdown.data_stall +. (t.fd.d_data_stall *. k);
     t.bd.Breakdown.sync_stall <-
       t.bd.Breakdown.sync_stall +. (t.fd.d_sync_stall *. k);
-    t.l1_miss_count <- t.l1_miss_count + (t.d_l1_miss * times);
-    t.mshr_full_events <- t.mshr_full_events + (t.d_mshr_full * times)
+    Hierarchy.replay_retry t.h ~miss_deltas:t.d_level_miss
+      ~mshr_full:t.d_mshr_full ~times
   end
 
 (* Earliest future time any [<= now] comparison inside [step] can flip:
-   an MSHR completing, a buffered write draining, or an issued
+   an in-flight miss completing, a buffered write draining, or an issued
    instruction's result becoming available (which can unblock retire and
    dependent issues). Barrier release is not a timed event — it is
    triggered by another core's progress, which the machine loop observes
@@ -721,7 +523,7 @@ let replay_idle t ~times =
 let next_event t ~now =
   let ne = ref max_int in
   let consider at = if at > now && at < !ne then ne := at in
-  consider (Pqueue.min_prio t.mshr_expiry);
+  consider (Hierarchy.next_completion t.h);
   consider (Pqueue.min_prio t.winflight);
   (* stale minima would hide the real next completion behind them *)
   drain_done t ~now;
@@ -730,72 +532,44 @@ let next_event t ~now =
 
 let breakdown t = t.bd
 
-let mshr_read_occupancy t = t.mshr_read_occ
+let mshr_read_occupancy t = Hierarchy.read_occupancy t.h
+let mshr_total_occupancy t = Hierarchy.total_occupancy t.h
 
-let mshr_total_occupancy t = Hashtbl.length t.mshrs
-
-let l2_misses t = t.l2_miss_count
-let read_misses t = t.read_miss_count
-let read_miss_latency_sum t = t.read_miss_lat
+let l2_misses t = Hierarchy.mem_misses t.h
+let read_misses t = Hierarchy.read_misses t.h
+let read_miss_latency_sum t = Hierarchy.read_miss_latency_sum t.h
 let retired_instructions t = t.retired_count
 
-let l1_misses t = t.l1_miss_count
-let mshr_full_events t = t.mshr_full_events
+let l1_misses t = Hierarchy.l1_misses t.h
+let mshr_full_events t = Hierarchy.mshr_full_events t.h
 let wbuf_full_events t = t.wbuf_full_events
 
-let prefetches t = t.prefetch_count
-let prefetch_misses t = t.prefetch_miss_count
-let late_prefetches t = t.late_prefetch_count
+let prefetches t = Hierarchy.prefetches t.h
+let prefetch_misses t = Hierarchy.prefetch_misses t.h
+let late_prefetches t = Hierarchy.late_prefetches t.h
+
+let level_stats t = Hierarchy.level_stats t.h
+let hierarchy_depth t = Hierarchy.depth t.h
 
 (* ------------------------------------------------------------------ *)
 (* Functional warming (sampled mode).
 
    The warm path applies only the architectural side effects of a memory
-   reference — cache contents and coherence versions — with no timing, no
-   MSHR allocation, no memory-system requests and no statistics, so the
-   fast-forward legs between detailed windows keep the locality state the
-   next window samples against. The detailed path fills caches at request
-   time (completion only matters for timing), so warming an address the
-   detailed window already touched is a hit and changes nothing. *)
+   reference — cache contents and coherence versions, via the hierarchy's
+   warm entry points — with no timing, no MSHR allocation, no memory-
+   system requests and no statistics, so the fast-forward legs between
+   detailed windows keep the locality state the next window samples
+   against. The detailed path fills caches at request time (completion
+   only matters for timing), so warming an address the detailed window
+   already touched is a hit and changes nothing. *)
 
 let trace t = t.trace
 let position t = t.head
 let shared t = t.sh
 
-let warm_read t addr =
-  let line = line_of t addr in
-  (* the MSHR table is almost always empty here (fast-forward runs after
-     a functional drain); [Hashtbl.length] is a field read, so this skips
-     a hash probe per warmed reference *)
-  if Hashtbl.length t.mshrs = 0 || not (Hashtbl.mem t.mshrs line) then begin
-    (* uniprocessor coherence versions never move (a line's version only
-       bumps when a different processor writes it), so the versions table
-       probe is pure overhead there *)
-    let v = if t.sh.nprocs = 1 then 0 else fst (version t line) in
-    if not (Cache.lookup t.l1 ~version:v ~addr) then begin
-      (match t.l2 with
-      | Some l2 when Cache.lookup l2 ~version:v ~addr -> ()
-      | Some l2 -> Cache.fill l2 ~version:v ~addr
-      | None -> ());
-      Cache.fill t.l1 ~version:v ~addr
-    end
-  end
-
-let warm_write t addr =
-  let line = line_of t addr in
-  let v' =
-    if t.sh.nprocs = 1 then 0
-    else begin
-      let v, w = version t line in
-      let v' = if w <> t.proc && w >= 0 then v + 1 else v in
-      Hashtbl.replace t.sh.versions line (v', t.proc);
-      v'
-    end
-  in
-  Cache.fill t.l1 ~version:v' ~addr;
-  Option.iter (fun l2 -> Cache.fill l2 ~version:v' ~addr) t.l2
-
-let warm_prefetch t addr = warm_read t addr
+let warm_read t addr = Hierarchy.warm_read t.h addr
+let warm_write t addr = Hierarchy.warm_write t.h addr
+let warm_prefetch t addr = Hierarchy.warm_read t.h addr
 
 (* A fast-forwarded store: apply the coherence effect now, but keep the
    address queued (bounded by the buffer capacity) so the next detailed
@@ -807,7 +581,7 @@ let warm_prefetch t addr = warm_read t addr
 let warm_store t addr =
   warm_write t addr;
   Queue.push addr t.wpending;
-  if Queue.length t.wpending > t.sh.cfg.Config.write_buffer then
+  if Queue.length t.wpending > (cfg_of t).Config.write_buffer then
     ignore (Queue.pop t.wpending)
 
 let warm_barrier t b =
@@ -820,9 +594,7 @@ let warm_barrier t b =
 let drain_functional t =
   Queue.iter (fun addr -> warm_write t addr) t.wpending;
   Pqueue.clear t.winflight;
-  Hashtbl.reset t.mshrs;
-  Pqueue.clear t.mshr_expiry;
-  t.mshr_read_occ <- 0
+  Hierarchy.reset_inflight t.h
 
 (* Restart the core's pipeline state at trace index [at] with an empty
    window, as if everything before [at] had retired. Requires

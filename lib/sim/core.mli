@@ -1,24 +1,23 @@
 (** The out-of-order processor core.
 
-    Models exactly the mechanisms the paper's effect depends on: a finite
-    instruction window with in-order retire (up to retire_width per cycle),
-    out-of-order issue bounded by functional units, non-blocking loads
-    through a finite MSHR file with same-line coalescing, and stores that
-    retire into a write buffer before completing (release consistency).
+    Models exactly the pipeline mechanisms the paper's effect depends on:
+    a finite instruction window with in-order retire (up to retire_width
+    per cycle), out-of-order issue bounded by functional units, and
+    stores that retire into a write buffer before completing (release
+    consistency). All memory behavior — cache lookups, MSHR
+    allocation/coalescing, fills, coherence — lives in {!Hierarchy}; the
+    core only consumes its completion-time / retry signals.
 
-    One [t] per processor; all processors share a {!shared} context (memory
-    system, coherence versions, barrier state). *)
+    One [t] per processor; all processors share a {!shared} context
+    (memory system, coherence versions, barrier state). *)
 
 open Memclust_codegen
 
 type shared = {
-  cfg : Config.t;
-  mem : Memsys.t;
-  versions : (int, int * int) Hashtbl.t;
-      (** line -> (coherence version, last writer) *)
-  home : int -> int;  (** home node of a byte address *)
+  h : Hierarchy.shared;
+      (** memory-side shared state (config, memory system, coherence
+          versions, home map) *)
   reached : int array;  (** per-processor barrier progress *)
-  nprocs : int;
 }
 
 type t
@@ -42,7 +41,7 @@ val progressed : t -> bool
 
 val next_event : t -> now:int -> int option
 (** Earliest cycle strictly after [now] at which this core's behaviour
-    can change on its own: the minimum over pending MSHR completions,
+    can change on its own: the minimum over pending miss completions,
     draining write completions, and in-window issued instructions'
     completion times. [None] when nothing is pending (the core is either
     finished or waiting on another processor's barrier arrival). *)
@@ -50,7 +49,7 @@ val next_event : t -> now:int -> int option
 val replay_idle : t -> times:int -> unit
 (** Repeat the per-cycle statistic side effects of the last (no-progress)
     {!step} [times] more times: stall-category attribution and the
-    per-cycle L1-miss / MSHR-full retry counters. Used by the
+    per-cycle per-level-miss / MSHR-full retry counters. Used by the
     event-driven machine loop to account for skipped stall cycles;
     bit-identical to stepping cycle by cycle. Only meaningful when the
     last step made no progress. *)
@@ -59,11 +58,15 @@ val finished : t -> bool
 val breakdown : t -> Breakdown.t
 
 val mshr_read_occupancy : t -> int
-(** MSHRs currently holding at least one read miss. *)
+(** In-flight misses holding a demand read (measured at the memory-side
+    MSHR file, see {!Hierarchy.read_occupancy}). *)
 
 val mshr_total_occupancy : t -> int
 
 val l2_misses : t -> int
+(** Demand accesses that went to memory (reads + drained writes) — the
+    legacy name for {!Hierarchy.mem_misses}. *)
+
 val read_misses : t -> int
 
 val read_miss_latency_sum : t -> float
@@ -72,10 +75,10 @@ val read_miss_latency_sum : t -> float
 val retired_instructions : t -> int
 
 val l1_misses : t -> int
-(** demand-load L1 misses (L2 hits + L2 misses) *)
+(** demand-load misses at the first hierarchy level *)
 
 val mshr_full_events : t -> int
-(** load-issue attempts rejected because all MSHRs were busy *)
+(** load-issue attempts rejected because some MSHR file was full *)
 
 val wbuf_full_events : t -> int
 (** Stores whose issue was delayed by at least one cycle because the
@@ -92,6 +95,11 @@ val prefetch_misses : t -> int
 
 val late_prefetches : t -> int
 (** demand loads that caught a still-in-flight prefetch *)
+
+val level_stats : t -> Breakdown.level_stat array
+(** Per-level demand-load hit/miss rows (see {!Hierarchy.level_stats}). *)
+
+val hierarchy_depth : t -> int
 
 (** {2 Functional warming (sampled mode)}
 
@@ -124,7 +132,7 @@ val warm_barrier : t -> int -> unit
 val drain_functional : t -> unit
 (** Functionally complete the in-flight reads: apply buffered stores'
     coherence effects (the store queue itself persists, see
-    {!warm_store}), empty the MSHR file. Must be followed by
+    {!warm_store}), empty every level's MSHR file. Must be followed by
     {!reposition} before detailed stepping resumes. *)
 
 val reposition : t -> at:int -> unit

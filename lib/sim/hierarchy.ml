@@ -1,0 +1,368 @@
+(* The per-processor memory hierarchy: a stack of cache levels (each with
+   its own geometry, hit latency and MSHR file) terminating in the shared
+   banked memory system. Owns the whole miss lifecycle — lookup, MSHR
+   allocate/coalesce, fill, stale-version invalidation — and exposes only
+   completion-time / retry signals to the pipeline in [Core].
+
+   Semantics, kept bit-identical to the pre-refactor fixed L1(+L2) code on
+   equal-line stacks:
+
+   - A hit at level [k] costs that level's latency and fills every level
+     above it (inclusion by refill). Intermediate-level hits are plain
+     pipelined accesses: no MSHR is involved.
+   - A miss past the last level allocates ONE shared {!Mshr.entry},
+     inserted into every level's file under that level's own line key —
+     a request occupies an MSHR at each level it passed through, so the
+     smallest file in the stack bounds memory parallelism (lp), and a
+     coalescing probe at any level finds the same entry.
+   - Coherence and memory transfers are at the last level's line size. *)
+
+type shared = {
+  cfg : Config.t;
+  mem : Memsys.t;
+  versions : (int, int * int) Hashtbl.t;
+  home : int -> int;
+  nprocs : int;
+}
+
+type level = {
+  cache : Cache.t;
+  mshr : Mshr.t;
+  lat : int;
+  lshift : int;  (* log2 line, or -1 when not a power of two *)
+  lsize : int;
+}
+
+type t = {
+  sh : shared;
+  proc : int;
+  levels : level array;
+  coh_shift : int;  (* last level's line: coherence/transfer granularity *)
+  coh_size : int;
+  (* statistics *)
+  level_hits : int array;  (* demand loads satisfied at each level *)
+  level_misses : int array;  (* demand loads missing each level *)
+  mutable mem_misses : int;  (* demand accesses that went to memory *)
+  mutable read_misses : int;
+  mutable read_miss_lat : float;
+  mutable mshr_full_count : int;
+  mutable prefetch_count : int;
+  mutable prefetch_miss_count : int;  (* prefetches that went to memory *)
+  mutable late_prefetch_count : int;
+      (* demand loads catching an in-flight prefetch *)
+}
+
+let make_shared cfg ~nprocs ~home =
+  { cfg; mem = Memsys.create cfg ~nprocs; versions = Hashtbl.create 4096; home; nprocs }
+
+let log2_shift v =
+  if v > 0 && v land (v - 1) = 0 then begin
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+  end
+  else -1
+
+let create sh ~proc =
+  let levels =
+    Array.of_list
+      (List.map
+         (fun (l : Config.level) ->
+           {
+             cache = Cache.create ~bytes:l.Config.bytes ~assoc:l.Config.assoc
+                 ~line:l.Config.line;
+             mshr = Mshr.create ~cap:l.Config.mshrs;
+             lat = l.Config.lat;
+             lshift = log2_shift l.Config.line;
+             lsize = l.Config.line;
+           })
+         sh.cfg.Config.levels)
+  in
+  let n = Array.length levels in
+  if n = 0 then invalid_arg "Hierarchy.create: config has no cache levels";
+  let bottom = levels.(n - 1) in
+  {
+    sh;
+    proc;
+    levels;
+    coh_shift = bottom.lshift;
+    coh_size = bottom.lsize;
+    level_hits = Array.make n 0;
+    level_misses = Array.make n 0;
+    mem_misses = 0;
+    read_misses = 0;
+    read_miss_lat = 0.0;
+    mshr_full_count = 0;
+    prefetch_count = 0;
+    prefetch_miss_count = 0;
+    late_prefetch_count = 0;
+  }
+
+let depth t = Array.length t.levels
+let bottom t = t.levels.(Array.length t.levels - 1)
+
+let coh_line t addr =
+  if t.coh_shift >= 0 then addr lsr t.coh_shift else addr / t.coh_size
+
+let level_line lvl addr =
+  if lvl.lshift >= 0 then addr lsr lvl.lshift else addr / lvl.lsize
+
+let version t line =
+  match Hashtbl.find_opt t.sh.versions line with
+  | Some vw -> vw
+  | None -> (0, -1)
+
+let miss_kind t ~writer ~home =
+  if t.sh.nprocs = 1 then Memsys.Local
+  else if writer >= 0 && writer <> t.proc then Memsys.Dirty_remote
+  else if home = t.proc then Memsys.Local
+  else Memsys.Remote
+
+(* Coalescing probe: an in-flight miss covering [addr] at any level. Line
+   sizes are non-decreasing toward memory, so addresses sharing an upper
+   line share every line below — all levels hold the same entry set, just
+   under their own keys; probing top-down finds the shared entry. *)
+let find_inflight t addr =
+  let n = Array.length t.levels in
+  let rec go k =
+    if k >= n then None
+    else
+      match Mshr.find t.levels.(k).mshr (level_line t.levels.(k) addr) with
+      | Some e -> Some e
+      | None -> go (k + 1)
+  in
+  go 0
+
+let inflight_mem t addr =
+  Array.exists (fun lvl -> Mshr.mem lvl.mshr (level_line lvl addr)) t.levels
+
+(* A memory-bound miss needs an entry in every file. *)
+let any_full t = Array.exists (fun lvl -> Mshr.full lvl.mshr) t.levels
+
+let allocate t addr ~ready ~has_read ~has_write ~prefetch_only =
+  let e = { Mshr.ready; has_read; has_write; prefetch_only } in
+  Array.iter (fun lvl -> Mshr.insert lvl.mshr ~line:(level_line lvl addr) e) t.levels;
+  e
+
+let note_read t (e : Mshr.entry) =
+  if not e.Mshr.has_read then begin
+    e.Mshr.has_read <- true;
+    Array.iter (fun lvl -> Mshr.note_read lvl.mshr) t.levels
+  end
+
+let fill_above t k ~version ~addr =
+  for i = 0 to k - 1 do
+    Cache.fill t.levels.(i).cache ~version ~addr
+  done
+
+let fill_all t ~version ~addr =
+  Array.iter (fun lvl -> Cache.fill lvl.cache ~version ~addr) t.levels
+
+(* Demand load: [Some ready] or [None] when no MSHR is available. *)
+let read t ~now addr =
+  match find_inflight t addr with
+  | Some e ->
+      if e.Mshr.prefetch_only then begin
+        (* the prefetch launched the line but too late to hide it fully *)
+        t.late_prefetch_count <- t.late_prefetch_count + 1;
+        e.Mshr.prefetch_only <- false
+      end;
+      note_read t e;
+      Some e.Mshr.ready
+  | None -> (
+      let line = coh_line t addr in
+      let v, w = version t line in
+      let n = Array.length t.levels in
+      let rec probe k =
+        if k >= n then n
+        else if Cache.lookup t.levels.(k).cache ~version:v ~addr then begin
+          t.level_hits.(k) <- t.level_hits.(k) + 1;
+          k
+        end
+        else begin
+          t.level_misses.(k) <- t.level_misses.(k) + 1;
+          probe (k + 1)
+        end
+      in
+      match probe 0 with
+      | k when k < n ->
+          fill_above t k ~version:v ~addr;
+          Some (now + t.levels.(k).lat)
+      | _ ->
+          if any_full t then begin
+            t.mshr_full_count <- t.mshr_full_count + 1;
+            None
+          end
+          else begin
+            let home = t.sh.home addr in
+            let kind = miss_kind t ~writer:w ~home in
+            let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+            ignore
+              (allocate t addr ~ready ~has_read:true ~has_write:false
+                 ~prefetch_only:false);
+            fill_all t ~version:v ~addr;
+            t.mem_misses <- t.mem_misses + 1;
+            t.read_misses <- t.read_misses + 1;
+            t.read_miss_lat <- t.read_miss_lat +. float_of_int (ready - now);
+            Some ready
+          end)
+
+(* Write-buffer drain access (write-allocate). *)
+let write t ~now addr =
+  let line = coh_line t addr in
+  let v, w = version t line in
+  (* coherence: a write by a new owner invalidates all other copies *)
+  let v' = if w <> t.proc && w >= 0 then v + 1 else v in
+  let commit () = Hashtbl.replace t.sh.versions line (v', t.proc) in
+  match find_inflight t addr with
+  | Some e ->
+      e.Mshr.has_write <- true;
+      commit ();
+      fill_all t ~version:v' ~addr;
+      Some e.Mshr.ready
+  | None ->
+      let owned = w = t.proc || w < 0 in
+      (* every level is probed (so every copy gets its LRU refresh) even
+         below the first hit, as the fixed two-level model did *)
+      let hit_level = ref (-1) in
+      if owned then
+        Array.iteri
+          (fun k lvl ->
+            if Cache.lookup lvl.cache ~version:v ~addr && !hit_level < 0 then
+              hit_level := k)
+          t.levels;
+      if !hit_level >= 0 then begin
+        commit ();
+        fill_all t ~version:v' ~addr;
+        Some (now + t.levels.(!hit_level).lat)
+      end
+      else if any_full t then None
+      else begin
+        let home = t.sh.home addr in
+        let kind = miss_kind t ~writer:w ~home in
+        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+        ignore
+          (allocate t addr ~ready ~has_read:false ~has_write:true
+             ~prefetch_only:false);
+        commit ();
+        fill_all t ~version:v' ~addr;
+        t.mem_misses <- t.mem_misses + 1;
+        Some ready
+      end
+
+(* Non-binding prefetch: fills the caches if it can get an MSHR, is
+   dropped when the line is already present/in flight or when no MSHR is
+   available (as hardware drops hint prefetches under pressure). *)
+let prefetch t ~now addr =
+  t.prefetch_count <- t.prefetch_count + 1;
+  match find_inflight t addr with
+  | Some _ -> ()
+  | None ->
+      let line = coh_line t addr in
+      let v, w = version t line in
+      let n = Array.length t.levels in
+      let rec probe k =
+        if k >= n then n
+        else if Cache.lookup t.levels.(k).cache ~version:v ~addr then k
+        else probe (k + 1)
+      in
+      let k = probe 0 in
+      if k < n then fill_above t k ~version:v ~addr
+      else if not (any_full t) then begin
+        let home = t.sh.home addr in
+        let kind = miss_kind t ~writer:w ~home in
+        let ready = Memsys.request t.sh.mem ~proc:t.proc ~home ~kind ~line ~now in
+        ignore
+          (allocate t addr ~ready ~has_read:false ~has_write:false
+             ~prefetch_only:true);
+        fill_all t ~version:v ~addr;
+        t.prefetch_miss_count <- t.prefetch_miss_count + 1
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let cleanup t ~now =
+  let any = ref false in
+  Array.iter (fun lvl -> if Mshr.cleanup lvl.mshr ~now then any := true) t.levels;
+  !any
+
+let next_completion t =
+  Array.fold_left (fun acc lvl -> min acc (Mshr.next_ready lvl.mshr)) max_int
+    t.levels
+
+(* Occupancy metrics read the last (memory-side) level: its file tracks
+   exactly the memory-bound misses in flight — the paper's Figure 4
+   "MSHRs at the L2". *)
+let read_occupancy t = Mshr.read_occupancy (bottom t).mshr
+let total_occupancy t = Mshr.occupancy (bottom t).mshr
+
+(* statistics *)
+let mem_misses t = t.mem_misses
+let read_misses t = t.read_misses
+let read_miss_latency_sum t = t.read_miss_lat
+let l1_misses t = t.level_misses.(0)
+let mshr_full_events t = t.mshr_full_count
+let prefetches t = t.prefetch_count
+let prefetch_misses t = t.prefetch_miss_count
+let late_prefetches t = t.late_prefetch_count
+
+let level_stats t =
+  Array.mapi
+    (fun i _ ->
+      {
+        Breakdown.lv_name = Printf.sprintf "L%d" (i + 1);
+        lv_hits = t.level_hits.(i);
+        lv_misses = t.level_misses.(i);
+      })
+    t.levels
+
+let level_miss_counts t = t.level_misses
+
+(* Re-apply the per-cycle retry statistics of a no-progress step [times]
+   more times (event-mode idle replay): a load rejected on full MSHRs
+   walks — and misses — every level again each retry cycle. *)
+let replay_retry t ~miss_deltas ~mshr_full ~times =
+  for i = 0 to Array.length t.level_misses - 1 do
+    t.level_misses.(i) <- t.level_misses.(i) + (miss_deltas.(i) * times)
+  done;
+  t.mshr_full_count <- t.mshr_full_count + (mshr_full * times)
+
+(* ------------------------------------------------------------------ *)
+(* Functional warming (sampled mode): architectural side effects only —
+   cache contents and coherence versions — with no timing, no MSHR
+   allocation, no memory-system requests and no statistics. *)
+
+let warm_read t addr =
+  (* the MSHR files are almost always empty here (fast-forward runs after
+     a functional drain), and the last level's file holds every in-flight
+     miss; [Mshr.is_empty] is a field read, so this skips the per-level
+     hash probes per warmed reference *)
+  if Mshr.is_empty (bottom t).mshr || not (inflight_mem t addr) then begin
+    (* uniprocessor coherence versions never move (a line's version only
+       bumps when a different processor writes it), so the versions table
+       probe is pure overhead there *)
+    let v = if t.sh.nprocs = 1 then 0 else fst (version t (coh_line t addr)) in
+    let n = Array.length t.levels in
+    let rec probe k =
+      if k >= n then n
+      else if Cache.lookup t.levels.(k).cache ~version:v ~addr then k
+      else probe (k + 1)
+    in
+    let k = probe 0 in
+    (* fill the levels the access missed (all of them on a full miss) *)
+    if k > 0 then fill_above t (min k n) ~version:v ~addr
+  end
+
+let warm_write t addr =
+  let v' =
+    if t.sh.nprocs = 1 then 0
+    else begin
+      let line = coh_line t addr in
+      let v, w = version t line in
+      let v' = if w <> t.proc && w >= 0 then v + 1 else v in
+      Hashtbl.replace t.sh.versions line (v', t.proc);
+      v'
+    end
+  in
+  fill_all t ~version:v' ~addr
+
+let reset_inflight t = Array.iter (fun lvl -> Mshr.reset lvl.mshr) t.levels

@@ -7,6 +7,7 @@ type result = {
   per_proc : Breakdown.t array;
   read_mshr_hist : Stats.Histogram.t;
   total_mshr_hist : Stats.Histogram.t;
+  level_stats : Breakdown.level_stat array;
   l2_misses : int;
   read_misses : int;
   l1_misses : int;
@@ -92,8 +93,8 @@ let make_engine ?(max_cycles = 400_000_000) (cfg : Config.t) ~home
   {
     sh;
     procs;
-    read_hist = Stats.Histogram.create (cfg.Config.mshrs + 1);
-    total_hist = Stats.Histogram.create (cfg.Config.mshrs + 1);
+    read_hist = Stats.Histogram.create (Config.lp cfg + 1);
+    total_hist = Stats.Histogram.create (Config.lp cfg + 1);
     cycle = 0;
     max_cycles;
   }
@@ -179,6 +180,18 @@ let advance e stepping ~stop =
 
 let fold_procs e f = Array.fold_left (fun acc p -> acc + f p) 0 e.procs
 
+(* per-level demand-load hits/misses summed over processors *)
+let sum_level_stats e =
+  let d = Core.hierarchy_depth e.procs.(0) in
+  let acc =
+    Array.init d (fun i -> Breakdown.level_create (Printf.sprintf "L%d" (i + 1)))
+  in
+  Array.iter
+    (fun p ->
+      Array.iteri (fun i l -> Breakdown.level_add acc.(i) l) (Core.level_stats p))
+    e.procs;
+  acc
+
 (* The result record of an exact (unsampled) run: identical to the
    pre-refactor assembly. *)
 let assemble_exact e =
@@ -207,6 +220,7 @@ let assemble_exact e =
     per_proc;
     read_mshr_hist = e.read_hist;
     total_mshr_hist = e.total_hist;
+    level_stats = sum_level_stats e;
     l2_misses = fold_procs e Core.l2_misses;
     read_misses;
     l1_misses = fold_procs e Core.l1_misses;
@@ -217,8 +231,8 @@ let assemble_exact e =
     late_prefetches = fold_procs e Core.late_prefetches;
     avg_read_miss_latency =
       (if read_misses = 0 then 0.0 else lat_sum /. float_of_int read_misses);
-    bus_utilization = Memsys.bus_utilization e.sh.Core.mem ~upto:cycles;
-    bank_utilization = Memsys.bank_utilization e.sh.Core.mem ~upto:cycles;
+    bus_utilization = Memsys.bus_utilization e.sh.Core.h.Hierarchy.mem ~upto:cycles;
+    bank_utilization = Memsys.bank_utilization e.sh.Core.h.Hierarchy.mem ~upto:cycles;
     instructions = fold_procs e Core.retired_instructions;
   }
 
@@ -238,9 +252,12 @@ type snap = {
   n_pf : int;
   n_pfm : int;
   n_lpf : int;
+  n_lvl_h : int array;
+  n_lvl_m : int array;
 }
 
 let snapshot e =
+  let lvl = sum_level_stats e in
   {
     n_cycle = e.cycle;
     n_instr = fold_procs e Core.retired_instructions;
@@ -254,6 +271,8 @@ let snapshot e =
     n_pf = fold_procs e Core.prefetches;
     n_pfm = fold_procs e Core.prefetch_misses;
     n_lpf = fold_procs e Core.late_prefetches;
+    n_lvl_h = Array.map (fun l -> l.Breakdown.lv_hits) lvl;
+    n_lvl_m = Array.map (fun l -> l.Breakdown.lv_misses) lvl;
   }
 
 let sample_of_deltas (a : snap) (b : snap) : Sampling.sample =
@@ -269,6 +288,8 @@ let sample_of_deltas (a : snap) (b : snap) : Sampling.sample =
     s_prefetches = b.n_pf - a.n_pf;
     s_prefetch_misses = b.n_pfm - a.n_pfm;
     s_late_prefetches = b.n_lpf - a.n_lpf;
+    s_level_hits = Array.map2 ( - ) b.n_lvl_h a.n_lvl_h;
+    s_level_misses = Array.map2 ( - ) b.n_lvl_m a.n_lvl_m;
   }
 
 (* Short traces: the requested period would land too few windows for a
@@ -307,7 +328,7 @@ let run_sampled e (sp : Sampling.params) =
   let per_proc =
     Array.fold_left (fun a p -> max a (Trace.length (Core.trace p))) 0 e.procs
   in
-  let sp = fit_params e.sh.Core.cfg sp ~per_proc in
+  let sp = fit_params e.sh.Core.h.Hierarchy.cfg sp ~per_proc in
   let samples = ref [] in
   let detailed_cycles = ref 0 in
   (* Jitter each fast-forward leg uniformly within ±half its length:
@@ -447,7 +468,7 @@ let run_sampled e (sp : Sampling.params) =
         (* the memory system's queueing backlog rides along, so the next
            window opens under steady-state contention rather than on an
            idle memory system *)
-        Memsys.shift e.sh.Core.mem ~from:e.cycle ~by:charge;
+        Memsys.shift e.sh.Core.h.Hierarchy.mem ~from:e.cycle ~by:charge;
         e.cycle <- e.cycle + charge
       end
     end
@@ -482,6 +503,14 @@ let run_sampled e (sp : Sampling.params) =
       per_proc;
       read_mshr_hist = e.read_hist;
       total_mshr_hist = e.total_hist;
+      level_stats =
+        (let d = Core.hierarchy_depth e.procs.(0) in
+         Array.init d (fun i ->
+             {
+               Breakdown.lv_name = Printf.sprintf "L%d" (i + 1);
+               lv_hits = count (fun s -> s.Sampling.s_level_hits.(i));
+               lv_misses = count (fun s -> s.Sampling.s_level_misses.(i));
+             }));
       l2_misses = int_of_float (Float.round est.Sampling.l2_misses_ci.Sampling.est);
       read_misses =
         int_of_float (Float.round est.Sampling.read_misses_ci.Sampling.est);
@@ -492,8 +521,10 @@ let run_sampled e (sp : Sampling.params) =
       prefetch_misses = count (fun s -> s.Sampling.s_prefetch_misses);
       late_prefetches = count (fun s -> s.Sampling.s_late_prefetches);
       avg_read_miss_latency = est.Sampling.read_miss_latency_ci.Sampling.est;
-      bus_utilization = Memsys.bus_utilization e.sh.Core.mem ~upto:util_span;
-      bank_utilization = Memsys.bank_utilization e.sh.Core.mem ~upto:util_span;
+      bus_utilization =
+        Memsys.bus_utilization e.sh.Core.h.Hierarchy.mem ~upto:util_span;
+      bank_utilization =
+        Memsys.bank_utilization e.sh.Core.h.Hierarchy.mem ~upto:util_span;
       instructions = total_instructions;
     }
   in
@@ -521,10 +552,12 @@ let run ?max_cycles ?mode cfg ~home lower =
 let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>cycles %d, instrs %d (IPC %.2f)@,%a@,\
-     L2 misses %d (reads %d, avg latency %.1f cycles), L1 misses %d, mshr-full %d, wbuf-full %d@,\
+     memory misses %d (reads %d, avg latency %.1f cycles), mshr-full %d, wbuf-full %d@,\
+     levels: %a@,\
      bus util %.2f, bank util %.2f@]"
     r.cycles r.instructions
     (float_of_int r.instructions /. float_of_int (max 1 r.cycles))
     Breakdown.pp r.breakdown r.l2_misses r.read_misses r.avg_read_miss_latency
-    r.l1_misses r.mshr_full_events r.wbuf_full_events
+    r.mshr_full_events r.wbuf_full_events
+    Breakdown.pp_levels r.level_stats
     r.bus_utilization r.bank_utilization

@@ -14,9 +14,14 @@ type result = {
   read_mshr_hist : Stats.Histogram.t;
       (** per-cycle samples of read-occupied L2 MSHRs, all processors *)
   total_mshr_hist : Stats.Histogram.t;
+  level_stats : Breakdown.level_stat array;
+      (** per-hierarchy-level demand-load hits/misses, summed over
+          processors, processor side first *)
   l2_misses : int;
+      (** demand accesses that went to memory (the legacy name; see
+          {!Core.l2_misses}) *)
   read_misses : int;
-  l1_misses : int;  (** demand-load L1 misses *)
+  l1_misses : int;  (** demand-load misses at the first level *)
   mshr_full_events : int;  (** load issues rejected: MSHRs full *)
   wbuf_full_events : int;  (** store issues rejected: write buffer full *)
   prefetches : int;  (** prefetch hints issued *)

@@ -1,0 +1,60 @@
+(** One level's MSHR (miss status holding register) file.
+
+    A finite table of in-flight misses keyed by that level's line number,
+    giving same-line coalescing: a second access to an in-flight line
+    shares the existing entry instead of consuming a new one. The file
+    size is the paper's outstanding-miss bound [lp] (the smallest file in
+    a {!Hierarchy} stack governs, since a memory-bound miss holds an
+    entry at every level).
+
+    Entries are shared records: the {!Hierarchy} inserts one [entry] into
+    every level's file (under each level's own line key), so flag updates
+    (demand read arriving on a prefetch, write coalescing) are seen by
+    all levels at once. [ready] must not change after insertion — the
+    expiry heap indexes it. *)
+
+type entry = {
+  mutable ready : int;  (** completion cycle; fixed after insertion *)
+  mutable has_read : bool;
+  mutable has_write : bool;
+  mutable prefetch_only : bool;
+      (** allocated by a prefetch, no demand access yet *)
+}
+
+type t
+
+val create : cap:int -> t
+
+val capacity : t -> int
+val occupancy : t -> int
+
+val read_occupancy : t -> int
+(** Entries with [has_read] (the paper's Figure 4 occupancy metric). *)
+
+val is_empty : t -> bool
+val full : t -> bool
+
+val find : t -> int -> entry option
+(** In-flight entry covering the given line, if any (coalescing probe). *)
+
+val mem : t -> int -> bool
+(** Allocation-free [find <> None]. *)
+
+val insert : t -> line:int -> entry -> unit
+(** Add an entry under [line] and schedule its expiry at [entry.ready];
+    counts toward {!read_occupancy} if [has_read] is already set. The
+    caller checks {!full} first. *)
+
+val note_read : t -> unit
+(** An in-flight entry just gained its first demand read (the caller
+    flips [has_read] once and notifies every file holding the entry). *)
+
+val cleanup : t -> now:int -> bool
+(** Retire every entry whose [ready] has passed; true when at least one
+    entry expired. *)
+
+val next_ready : t -> int
+(** Earliest pending completion; [max_int] when the file is empty. *)
+
+val reset : t -> unit
+(** Drop all in-flight entries (sampled-mode functional drain). *)

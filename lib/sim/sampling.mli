@@ -46,6 +46,9 @@ type sample = {
   s_prefetches : int;
   s_prefetch_misses : int;
   s_late_prefetches : int;
+  s_level_hits : int array;
+      (** demand-load hits per hierarchy level, processor side first *)
+  s_level_misses : int array;
 }
 
 type ci = { est : float; half : float }

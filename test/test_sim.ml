@@ -246,14 +246,20 @@ let test_config_presets () =
     (Config.ghz Config.base).Config.mem_lat;
   Alcotest.(check int) "ghz keeps width" Config.base.Config.issue_width
     (Config.ghz Config.base).Config.issue_width;
-  (match Config.exemplar_like.Config.l2_bytes with
-  | None -> ()
-  | Some _ -> Alcotest.fail "exemplar is single-level");
-  Alcotest.(check int) "with_l2"
-    (256 * 1024)
-    (match (Config.with_l2 (256 * 1024) Config.base).Config.l2_bytes with
-    | Some b -> b
-    | None -> -1);
+  Alcotest.(check int) "exemplar is single-level" 1
+    (Config.depth Config.exemplar_like);
+  Alcotest.(check int) "base is two-level" 2 (Config.depth Config.base);
+  Alcotest.(check int) "base line 64B" 64 (Config.line Config.base);
+  Alcotest.(check int) "exemplar line 32B" 32 (Config.line Config.exemplar_like);
+  Alcotest.(check int) "base lp = 10" 10 (Config.lp Config.base);
+  let resized = Config.with_l2 (256 * 1024) Config.base in
+  Alcotest.(check int) "with_l2 keeps depth" 2 (Config.depth resized);
+  Alcotest.(check int) "with_l2 resizes the last level" (256 * 1024)
+    (List.nth (Config.levels resized) 1).Config.bytes;
+  Alcotest.(check int) "with_mshrs caps lp" 4
+    (Config.lp (Config.with_mshrs 4 Config.base));
+  Alcotest.(check int) "with_line resets every level" 128
+    (Config.line (Config.with_line 128 Config.base));
   Alcotest.(check (float 1e-9)) "ns per cycle at 500MHz" 2.0
     (Machine.ns_per_cycle Config.base)
 
@@ -346,15 +352,28 @@ let check_results_equal (a : Machine.result) (b : Machine.result) =
     (fun i bd -> check_breakdown (Printf.sprintf "proc %d" i) bd b.Machine.per_proc.(i))
     a.Machine.per_proc;
   check_hist "read_mshr_hist" a.Machine.read_mshr_hist b.Machine.read_mshr_hist;
-  check_hist "total_mshr_hist" a.Machine.total_mshr_hist b.Machine.total_mshr_hist
+  check_hist "total_mshr_hist" a.Machine.total_mshr_hist b.Machine.total_mshr_hist;
+  Alcotest.(check int) "hierarchy depth"
+    (Array.length a.Machine.level_stats)
+    (Array.length b.Machine.level_stats);
+  Array.iteri
+    (fun i (la : Breakdown.level_stat) ->
+      let lb = b.Machine.level_stats.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "L%d hits" (i + 1))
+        la.Breakdown.lv_hits lb.Breakdown.lv_hits;
+      Alcotest.(check int)
+        (Printf.sprintf "L%d misses" (i + 1))
+        la.Breakdown.lv_misses lb.Breakdown.lv_misses)
+    a.Machine.level_stats
 
 (* traces are rebuilt per run: a Trace.t is read-only to the simulator,
    but rebuilding keeps the two runs fully independent *)
-let run_mode mode traces barriers =
+let run_mode ?(cfg = Config.base) mode traces barriers =
   let lowered =
     { Lower.traces = Array.of_list (List.map mk_trace traces); barriers }
   in
-  Machine.run ~mode Config.base ~home:(fun _ -> 0) lowered
+  Machine.run ~mode cfg ~home:(fun _ -> 0) lowered
 
 let equivalence_scenarios =
   [
@@ -419,6 +438,19 @@ let test_event_equals_cycle_hand () =
       let rc = run_mode Machine.Cycle traces barriers in
       let re = run_mode Machine.Event traces barriers in
       Alcotest.(check pass) name () ();
+      check_results_equal rc re)
+    equivalence_scenarios
+
+(* same scenarios on a deeper stack: the hierarchy refactor must keep the
+   two loops in lockstep for >2-level configurations too *)
+let test_event_equals_cycle_three_level () =
+  List.iter
+    (fun (name, traces, barriers) ->
+      let rc = run_mode ~cfg:Config.three_level Machine.Cycle traces barriers in
+      let re = run_mode ~cfg:Config.three_level Machine.Event traces barriers in
+      Alcotest.(check pass) name () ();
+      Alcotest.(check int) (name ^ ": three levels reported") 3
+        (Array.length rc.Machine.level_stats);
       check_results_equal rc re)
     equivalence_scenarios
 
@@ -535,6 +567,81 @@ let test_sampled_estimate_presence () =
   Alcotest.(check bool) "sampled: estimate present" true (some <> None);
   Alcotest.(check int) "instruction total stays exact" 64 r.Machine.instructions
 
+(* --------------------------- golden counts --------------------------- *)
+
+(* Cycle counts captured from the pre-hierarchy-refactor simulator for
+   every small-registry workload on both presets, base and clustered.
+   The level-list refactor claims bit-identical timing on these configs,
+   so both exact modes must land on these numbers exactly. Regenerate
+   (only after an intentional timing change) with:
+     dune exec tools/golden.exe *)
+let golden_cycles =
+  [
+    ("Latbench", "base-500MHz", "base", 7219);
+    ("Latbench", "base-500MHz", "clustered", 2929);
+    ("Latbench", "exemplar-like", "base", 7654);
+    ("Latbench", "exemplar-like", "clustered", 3064);
+    ("Em3d", "base-500MHz", "base", 1395);
+    ("Em3d", "base-500MHz", "clustered", 1204);
+    ("Em3d", "exemplar-like", "base", 2638);
+    ("Em3d", "exemplar-like", "clustered", 2636);
+    ("Erlebacher", "base-500MHz", "base", 3404);
+    ("Erlebacher", "base-500MHz", "clustered", 3404);
+    ("Erlebacher", "exemplar-like", "base", 4124);
+    ("Erlebacher", "exemplar-like", "clustered", 4028);
+    ("FFT", "base-500MHz", "base", 1388);
+    ("FFT", "base-500MHz", "clustered", 1352);
+    ("FFT", "exemplar-like", "base", 2489);
+    ("FFT", "exemplar-like", "clustered", 2358);
+    ("LU", "base-500MHz", "base", 10240);
+    ("LU", "base-500MHz", "clustered", 7106);
+    ("LU", "exemplar-like", "base", 7932);
+    ("LU", "exemplar-like", "clustered", 6578);
+    ("Mp3d", "base-500MHz", "base", 3280);
+    ("Mp3d", "base-500MHz", "clustered", 3661);
+    ("Mp3d", "exemplar-like", "base", 4046);
+    ("Mp3d", "exemplar-like", "clustered", 4607);
+    ("MST", "base-500MHz", "base", 5596);
+    ("MST", "base-500MHz", "clustered", 3717);
+    ("MST", "exemplar-like", "base", 11437);
+    ("MST", "exemplar-like", "clustered", 8854);
+    ("Ocean", "base-500MHz", "base", 2486);
+    ("Ocean", "base-500MHz", "clustered", 1759);
+    ("Ocean", "exemplar-like", "base", 4153);
+    ("Ocean", "exemplar-like", "clustered", 3615);
+  ]
+
+let test_golden_cycles () =
+  let open Memclust_workloads in
+  let open Memclust_harness in
+  let workloads = Registry.small () in
+  List.iter
+    (fun (wname, cname, vname, expect) ->
+      let w =
+        List.find (fun (w : Workload.t) -> w.Workload.name = wname) workloads
+      in
+      let cfg =
+        if cname = "base-500MHz" then Config.base else Config.exemplar_like
+      in
+      let nprocs = max 1 w.Workload.mp_procs in
+      let program =
+        if vname = "base" then Memclust_ir.Program.renumber w.Workload.program
+        else fst (Experiment.transform cfg w)
+      in
+      let data = Memclust_ir.Data.create program in
+      w.Workload.init data;
+      let lowered = Lower.build ~nprocs program data in
+      let home = Memclust_ir.Data.home_of_addr data ~nprocs in
+      List.iter
+        (fun mode ->
+          let r = Machine.run cfg ~mode ~home lowered in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s/%s/%s" wname cname vname
+               (Machine.mode_to_string mode))
+            expect r.Machine.cycles)
+        [ Machine.Cycle; Machine.Event ])
+    golden_cycles
+
 let test_simulation_deterministic () =
   let loads = List.init 16 (fun i -> (Trace.Load, 0x40000 + (i * 48), (if i mod 3 = 0 then -1 else i - 1), -1)) in
   let r1 = run_single loads in
@@ -583,6 +690,8 @@ let () =
         [
           Alcotest.test_case "hand traces, both modes" `Quick
             test_event_equals_cycle_hand;
+          Alcotest.test_case "hand traces, three-level stack" `Quick
+            test_event_equals_cycle_three_level;
           Alcotest.test_case "deadlock guard in event mode" `Quick
             test_deadlock_guard_event;
           QCheck_alcotest.to_alcotest prop_event_equals_cycle;
@@ -601,5 +710,10 @@ let () =
             test_sampled_estimate_presence;
           Alcotest.test_case "small workloads within CI" `Quick
             test_sampled_within_ci;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "pre-refactor cycle counts, both modes" `Quick
+            test_golden_cycles;
         ] );
     ]

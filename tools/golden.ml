@@ -1,0 +1,32 @@
+(* Print golden cycle counts for Registry.small on both default configs,
+   in cycle and event mode, base and clustered variants. *)
+open Memclust_ir
+open Memclust_codegen
+open Memclust_sim
+open Memclust_workloads
+open Memclust_harness
+
+let () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let nprocs = max 1 w.Workload.mp_procs in
+      List.iter
+        (fun (cname, cfg) ->
+          List.iter
+            (fun (vname, program) ->
+              let data = Data.create program in
+              w.Workload.init data;
+              let lowered = Lower.build ~nprocs program data in
+              let home = Data.home_of_addr data ~nprocs in
+              let cy = Machine.run cfg ~mode:Machine.Cycle ~home lowered in
+              let ev = Machine.run cfg ~mode:Machine.Event ~home lowered in
+              if cy.Machine.cycles <> ev.Machine.cycles then
+                failwith (w.Workload.name ^ ": cycle <> event");
+              Printf.printf "    (%S, %S, %S, %d);\n%!" w.Workload.name cname
+                vname cy.Machine.cycles)
+            [
+              ("base", Program.renumber w.Workload.program);
+              ("clustered", fst (Experiment.transform cfg w));
+            ])
+        [ ("base-500MHz", Config.base); ("exemplar-like", Config.exemplar_like) ])
+    (Registry.small ())
