@@ -65,6 +65,92 @@ let apply_sim_flags mode period =
             s;
           exit 1)
 
+(* Resilience flags, exported the same way: environment variables are the
+   only channel that reaches Machines and Pipelines constructed deep
+   inside the harness (Figures builds its own Configs; Experiment builds
+   its own pass options). Each value is validated here so a typo fails
+   fast instead of deep inside a worker domain. *)
+
+let watchdog_arg =
+  let doc =
+    "Simulator forward-progress watchdog: abort (with a state dump) any \
+     simulation making no progress for $(docv) cycles. Defaults to the \
+     $(b,MEMCLUST_WATCHDOG_CYCLES) environment variable, else 1000000."
+  in
+  Arg.(value & opt (some int) None & info [ "watchdog-cycles" ] ~docv:"N" ~doc)
+
+let time_budget_arg =
+  let doc =
+    "Wall-clock budget per simulation in seconds (0 disables, the \
+     default); exceeding it raises the same structured deadlock error as \
+     the cycle watchdog."
+  in
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS" ~doc)
+
+let faults_arg =
+  let doc =
+    "Deterministic memory-system fault injection: $(b,SEED[:RATE]) \
+     (delayed fills at RATE, NACKs and bank stalls at RATE/2; RATE \
+     defaults to 0.05). Same syntax as $(b,MEMCLUST_FAULTS)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SEED[:RATE]" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Chaos-test the clustering pipeline: sabotage passes (crash or \
+     corrupt, drawn from SEED) with probability RATE (default 0.25). The \
+     fail-safe pipeline must degrade, never crash or mis-transform. Same \
+     syntax as $(b,MEMCLUST_CHAOS_PASSES)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "chaos-passes" ] ~docv:"SEED[:RATE]" ~doc)
+
+let fail_pass_arg =
+  let doc =
+    "Unconditionally corrupt the named clustering pass (resilience demo: \
+     the run must complete with that pass rolled back and recorded as \
+     degraded). Same as $(b,MEMCLUST_FAIL_PASS)."
+  in
+  Arg.(value & opt (some string) None & info [ "fail-pass" ] ~docv:"PASS" ~doc)
+
+let apply_resilience_flags watchdog budget faults chaos fail_pass =
+  let bad fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt in
+  Option.iter
+    (fun n ->
+      if n <= 0 then bad "--watchdog-cycles must be positive (got %d)" n;
+      Unix.putenv "MEMCLUST_WATCHDOG_CYCLES" (string_of_int n))
+    watchdog;
+  Option.iter
+    (fun s ->
+      if s < 0.0 then bad "--time-budget must be >= 0 (got %g)" s;
+      Unix.putenv "MEMCLUST_TIME_BUDGET_S" (string_of_float s))
+    budget;
+  Option.iter
+    (fun s ->
+      (match Faults.of_string s with
+      | Ok _ -> ()
+      | Error e -> bad "bad --faults %s: %s" s e);
+      Unix.putenv "MEMCLUST_FAULTS" s)
+    faults;
+  Option.iter
+    (fun s ->
+      Unix.putenv "MEMCLUST_CHAOS_PASSES" s;
+      try ignore (Memclust_cluster.Pass.chaos_of_env ())
+      with Invalid_argument m -> bad "bad --chaos-passes %s: %s" s m)
+    chaos;
+  Option.iter
+    (fun p ->
+      if not (List.mem p Memclust_cluster.Driver.pass_names) then
+        bad "unknown --fail-pass %s (have: %s)" p
+          (String.concat ", " Memclust_cluster.Driver.pass_names);
+      Unix.putenv "MEMCLUST_FAIL_PASS" p)
+    fail_pass
+
+let resilience_term =
+  Term.(
+    const apply_resilience_flags $ watchdog_arg $ time_budget_arg $ faults_arg
+    $ chaos_arg $ fail_pass_arg)
+
 let list_cmd =
   let doc = "List experiment ids and workloads." in
   let run () =
@@ -81,20 +167,58 @@ let list_cmd =
 let experiment_cmd =
   let doc = "Reproduce one or more of the paper's tables/figures." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run mode period ids =
+  let checkpoint_arg =
+    let doc =
+      "Checkpoint completed artifacts to directory $(docv) (created if \
+       missing) and skip artifacts already checkpointed there, so an \
+       interrupted batch resumes instead of recomputing."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+  in
+  let run () mode period ckpt ids =
     apply_sim_flags mode period;
     List.iter
       (fun id ->
-        match Figures.by_id id with
-        | Some f ->
-            Printf.printf "==== %s ====\n%s\n\n%!" id (f ())
-        | None ->
-            Printf.eprintf "unknown experiment %s (see `repro list`)\n" id;
-            exit 1)
-      ids
+        if not (List.mem id Figures.all_ids) then begin
+          Printf.eprintf "unknown experiment %s (see `repro list`)\n" id;
+          exit 1
+        end)
+      ids;
+    let ck = Option.map Checkpoint.create ckpt in
+    (* one wedged artifact degrades; the others still run and checkpoint *)
+    let degraded =
+      List.filter_map
+        (fun id ->
+          match Option.bind ck (fun c -> Checkpoint.load c id) with
+          | Some text ->
+              Printf.printf "==== %s (from checkpoint) ====\n%s\n\n%!" id text;
+              None
+          | None -> (
+              match Figures.run_safe id with
+              | Ok text ->
+                  Printf.printf "==== %s ====\n%s\n\n%!" id text;
+                  Option.iter (fun c -> Checkpoint.save c id text) ck;
+                  Some (id, None)
+              | Error e ->
+                  Printf.printf "==== %s DEGRADED ====\n%s\n\n%!" id
+                    (Memclust_util.Error.to_string e);
+                  Some (id, Some e)))
+        ids
+      |> List.filter_map (fun (id, e) -> Option.map (fun e -> (id, e)) e)
+    in
+    if degraded <> [] then begin
+      Printf.printf "degraded artifacts (%d of %d):\n" (List.length degraded)
+        (List.length ids);
+      List.iter
+        (fun (id, e) ->
+          Printf.printf "  %s: %s\n" id (Memclust_util.Error.kind e))
+        degraded
+    end
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ sim_mode_arg $ sample_period_arg $ ids)
+    Term.(
+      const run $ resilience_term $ sim_mode_arg $ sample_period_arg
+      $ checkpoint_arg $ ids)
 
 let workload_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
@@ -111,13 +235,24 @@ let lookup name =
 
 let run_cmd =
   let doc = "Simulate one workload, base vs clustered, and report." in
-  let run name procs mode period =
+  let run () name procs mode period =
     apply_sim_flags mode period;
     let w = lookup name in
     let nprocs = Option.value ~default:w.Workload.mp_procs procs in
     let go version =
-      Experiment.execute_cached
-        { Experiment.workload = w; config = Config.base; nprocs; version }
+      match
+        Experiment.execute_result
+          { Experiment.workload = w; config = Config.base; nprocs; version }
+      with
+      | Ok o -> o
+      | Error e ->
+          (* a wedged or crashed simulation must not take the CLI down
+             with a backtrace: report what is known and stop cleanly *)
+          Format.printf
+            "== %s on %d processor(s): DEGRADED ==@.%a@.@.\
+             run aborted; no results for this point.@."
+            w.Workload.name nprocs Memclust_util.Error.pp e;
+          exit 0
     in
     let b = go Experiment.Base in
     let c = go Experiment.Clustered in
@@ -132,6 +267,19 @@ let run_cmd =
     mix "clustered" c;
     (match c.Experiment.cluster_report with
     | Some r -> Format.printf "%a@.@." Memclust_cluster.Driver.pp_report r
+    | None -> ());
+    (match c.Experiment.trace with
+    | Some t -> (
+        match Memclust_cluster.Pass.Pipeline.degraded_passes t with
+        | [] -> ()
+        | ds ->
+            Format.printf
+              "== DEGRADED: %d pass(es) rolled back (fail-safe pipeline) ==@."
+              (List.length ds);
+            List.iter
+              (fun (pass, reason) -> Format.printf "  %s: %s@." pass reason)
+              ds;
+            Format.printf "@.")
     | None -> ());
     Format.printf "base:@.  %a@.clustered:@.  %a@." Machine.pp_result
       b.Experiment.result Machine.pp_result c.Experiment.result;
@@ -149,7 +297,9 @@ let run_cmd =
             /. float_of_int (Experiment.exec_cycles b)))
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ procs_arg $ sim_mode_arg $ sample_period_arg)
+    Term.(
+      const run $ resilience_term $ workload_arg $ procs_arg $ sim_mode_arg
+      $ sample_period_arg)
 
 (* lp / line-size sensitivity sweep: re-cluster and re-simulate the
    workload for every (MSHR count, line size) point. The clustering
@@ -187,7 +337,7 @@ let sweep_cmd =
     Arg.(
       value & opt string "BENCH_sweep.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run names mshrs lines out mode period =
+  let run () names mshrs lines out mode period =
     apply_sim_flags mode period;
     let ws =
       match names with [] -> [ Registry.latbench () ] | ns -> List.map lookup ns
@@ -207,9 +357,9 @@ let sweep_cmd =
           in
           (match Config.validate cfg with
           | Ok () -> ()
-          | Error msg ->
+          | Error e ->
               Printf.eprintf "invalid sweep point (mshrs=%d, line=%d): %s\n" m l
-                msg;
+                (Memclust_util.Error.to_string e);
               exit 1);
           (m, l, cfg))
         points
@@ -258,8 +408,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const run $ workloads_arg $ mshrs_arg $ line_arg $ out_arg $ sim_mode_arg
-      $ sample_period_arg)
+      const run $ resilience_term $ workloads_arg $ mshrs_arg $ line_arg
+      $ out_arg $ sim_mode_arg $ sample_period_arg)
 
 let analyze_cmd =
   let doc =
@@ -373,7 +523,7 @@ let trace_cmd =
     let doc = "Write the traces as a JSON array to $(docv)." in
     Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
   in
-  let run names only dump_after json_file =
+  let run () names only dump_after json_file =
     let open Memclust_cluster in
     let check_pass n =
       if not (List.mem n Driver.pass_names) then begin
@@ -428,7 +578,9 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc)
-    Term.(const run $ workloads_arg $ passes_arg $ dump_after_arg $ json_arg)
+    Term.(
+      const run $ resilience_term $ workloads_arg $ passes_arg $ dump_after_arg
+      $ json_arg)
 
 let () =
   let doc =

@@ -18,6 +18,11 @@ type action = Pass.action =
   | Rejected of { target_var : string; reason : string }
 
 type scheduler = Pass.scheduler = Pack_misses | Balanced | No_schedule
+type chaos = Pass.chaos = {
+  chaos_seed : int;
+  chaos_rate : float;
+  fail_pass : string option;
+}
 
 type options = Pass.options = {
   machine : Machine_model.t;
@@ -30,6 +35,8 @@ type options = Pass.options = {
   do_fuse : bool;
   do_strip_mine : bool;
   do_prefetch : bool;
+  failsafe : bool;
+  chaos : chaos option;
 }
 
 let default_options = Pass.default_options

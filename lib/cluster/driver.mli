@@ -54,6 +54,14 @@ type scheduler = Pass.scheduler =
   | Balanced  (** statement-level balanced scheduling (comparison baseline) *)
   | No_schedule
 
+type chaos = Pass.chaos = {
+  chaos_seed : int;
+  chaos_rate : float;
+  fail_pass : string option;
+}
+(** Deterministic pass sabotage for resilience testing (see
+    {!Pass.chaos}). *)
+
 type options = Pass.options = {
   machine : Machine_model.t;
   profile_pm : bool;  (** measure P_m by cache profiling (needs [init]) *)
@@ -65,6 +73,10 @@ type options = Pass.options = {
   do_fuse : bool;  (** optional fusion pass (paper §6), default off *)
   do_strip_mine : bool;  (** optional strip-mine pass (§2.2), default off *)
   do_prefetch : bool;  (** optional prefetch-insertion pass, default off *)
+  failsafe : bool;
+      (** guard every pass, rolling back failures as degraded (default;
+          see {!Pass.Pipeline.run}) *)
+  chaos : chaos option;  (** sabotage injection (default [None]) *)
 }
 
 val default_options : options

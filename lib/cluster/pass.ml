@@ -9,6 +9,14 @@ open Ast
 
 type scheduler = Pack_misses | Balanced | No_schedule
 
+(* Chaos testing: deterministically sabotage passes so the fail-safe
+   guard's degradation path gets exercised end-to-end. *)
+type chaos = {
+  chaos_seed : int;
+  chaos_rate : float;  (* per-pass sabotage probability *)
+  fail_pass : string option;  (* always sabotage this pass *)
+}
+
 type options = {
   machine : Machine_model.t;
   profile_pm : bool;
@@ -20,6 +28,8 @@ type options = {
   do_fuse : bool;
   do_strip_mine : bool;
   do_prefetch : bool;
+  failsafe : bool;
+  chaos : chaos option;
 }
 
 let default_options =
@@ -34,7 +44,52 @@ let default_options =
     do_fuse = false;
     do_strip_mine = false;
     do_prefetch = false;
+    failsafe = true;
+    chaos = None;
   }
+
+(* "SEED[:RATE]" in MEMCLUST_CHAOS_PASSES (rate defaults to 0.25), plus
+   MEMCLUST_FAIL_PASS naming one pass to sabotage unconditionally. The
+   environment route exists so the repro CLI can reach pipelines built
+   deep inside the harness, mirroring MEMCLUST_SIM_MODE. *)
+let chaos_of_env () =
+  let fail_pass =
+    match Sys.getenv_opt "MEMCLUST_FAIL_PASS" with
+    | None | Some "" -> None
+    | Some s -> Some s
+  in
+  let spec =
+    match Sys.getenv_opt "MEMCLUST_CHAOS_PASSES" with
+    | None | Some "" -> None
+    | Some s -> Some s
+  in
+  match (spec, fail_pass) with
+  | None, None -> None
+  | _ ->
+      let chaos_seed, chaos_rate =
+        match spec with
+        | None -> (0, 0.0)
+        | Some s -> (
+            let bad () =
+              invalid_arg
+                (Printf.sprintf
+                   "MEMCLUST_CHAOS_PASSES: expected SEED[:RATE] with RATE in \
+                    [0,1], got %S"
+                   s)
+            in
+            match String.split_on_char ':' (String.trim s) with
+            | [ seed ] -> (
+                match int_of_string_opt seed with
+                | Some seed -> (seed, 0.25)
+                | None -> bad ())
+            | [ seed; rate ] -> (
+                match (int_of_string_opt seed, float_of_string_opt rate) with
+                | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
+                    (seed, rate)
+                | _ -> bad ())
+            | _ -> bad ())
+      in
+      Some { chaos_seed; chaos_rate; fail_pass }
 
 type ctx = { options : options; init : (Data.t -> unit) option }
 
@@ -216,10 +271,16 @@ module Pipeline = struct
     f_before : nest_summary list;
     f_after : nest_summary list;
     validated : bool;
+    degraded : string option;
     events : event list;
   }
 
   type trace = { program_name : string; entries : entry list; total_ms : float }
+
+  let degraded_passes trace =
+    List.filter_map
+      (fun e -> Option.map (fun r -> (e.pass_name, r)) e.degraded)
+      trace.entries
 
   let measure p =
     let stmts = ref 0 in
@@ -268,15 +329,119 @@ module Pipeline = struct
 
   let now_ms () = Unix.gettimeofday () *. 1000.0
 
+  (* Differential-execution budgets. The reference run of the source
+     program is bounded tightly — when the workload is too big to
+     interpret cheaply, the guard falls back to structural validation
+     and crash containment. Candidates get headroom (prefetch insertion
+     and unrolling add some dynamic operations); a candidate that blows
+     even that is degraded as a runaway. *)
+  let diff_ref_max_ops = 64_000_000
+  let diff_cand_max_ops = 128_000_000
+
+  (* Chaos corruption: remove the first assignment, searching depth-first
+     — most workloads are one big top-level nest, so dropping a top-level
+     statement would usually be a no-op. The result stays structurally
+     valid but is semantically wrong, which is exactly what the
+     differential guard must catch. *)
+  let corrupt_program (p : program) =
+    let removed = ref false in
+    let rec drop ss =
+      match ss with
+      | [] -> []
+      | _ when !removed -> ss
+      | Assign _ :: rest ->
+          removed := true;
+          rest
+      | Loop l :: rest -> Loop { l with body = drop l.body } :: drop rest
+      | Chase c :: rest -> Chase { c with cbody = drop c.cbody } :: drop rest
+      | If (e, t, f) :: rest ->
+          let t = drop t in
+          let f = drop f in
+          If (e, t, f) :: drop rest
+      | s :: rest -> s :: drop rest
+    in
+    let body = drop p.body in
+    if !removed then { p with body }
+    else
+      (* no assignment anywhere: drop whatever statement comes first *)
+      match p.body with _ :: rest -> { p with body = rest } | [] -> p
+
   let run ?(summaries = true) ?observe ctx passes p =
     let t_start = now_ms () in
-    let current = ref (Program.renumber p) in
+    let p0 = Program.renumber p in
+    let current = ref p0 in
     let entries = ref [] in
+    let failsafe = ctx.options.failsafe in
+    let chaos =
+      match ctx.options.chaos with Some c -> Some c | None -> chaos_of_env ()
+    in
+    let chaos_rng =
+      Option.map
+        (fun c -> Memclust_util.Rng.create (c.chaos_seed lxor Hashtbl.hash p.p_name))
+        chaos
+    in
+    (* The reference store — the source program's final data state —
+       computed lazily once per pipeline run. The paper's own methodology
+       (§4) defines correctness as semantic identity to the source, so
+       every pass is compared against the ORIGINAL program, not its
+       predecessor: rollback restores a last-good IR that is itself
+       equivalent to the source. *)
+    let reference =
+      lazy
+        (match ctx.init with
+        | None -> None
+        | Some init -> (
+            try
+              let d = Data.create p0 in
+              init d;
+              Exec.run ~max_ops:diff_ref_max_ops p0 d;
+              Some d
+            with Exec.Limit_exceeded -> None))
+    in
+    let divergence candidate =
+      match (Lazy.force reference, ctx.init) with
+      | Some ref_store, Some init -> (
+          try
+            let d = Data.create candidate in
+            init d;
+            Exec.run ~max_ops:diff_cand_max_ops candidate d;
+            if Data.equal ref_store d then None
+            else Some "differential execution: final stores diverge from the source program"
+          with Exec.Limit_exceeded ->
+            Some "differential execution: dynamic-operation budget exceeded (runaway rewrite?)")
+      | _ -> None
+    in
+    (* Chaos sabotage for this pass: [`Crash] raises mid-rewrite,
+       [`Corrupt] ships a semantically wrong result; the guard must
+       contain both. uniquify is never sabotaged — every later pass keys
+       nests by the globally-unique loop variables it establishes. *)
+    let sabotage name =
+      if String.equal name "uniquify" then `None
+      else
+        match (chaos, chaos_rng) with
+        | Some c, Some rng ->
+            let forced =
+              match c.fail_pass with
+              | Some f -> String.equal f name
+              | None -> false
+            in
+            (* fixed draw order keeps the stream deterministic per seed *)
+            let hit =
+              c.chaos_rate > 0.0
+              && Memclust_util.Rng.float rng 1.0 < c.chaos_rate
+            in
+            let crash = Memclust_util.Rng.bool rng in
+            if forced then `Corrupt
+            else if hit then if crash then `Crash else `Corrupt
+            else `None
+        | _ -> `None
+    in
+    let record entry = entries := entry :: !entries in
     List.iter
       (fun pass ->
         if not (pass.enabled ctx.options) then begin
           let size = measure !current in
-          entries :=
+          record
             {
               pass_name = pass.name;
               ran = false;
@@ -286,9 +451,9 @@ module Pipeline = struct
               f_before = [];
               f_after = [];
               validated = true;
+              degraded = None;
               events = [];
             }
-            :: !entries
         end
         else begin
           let size_before = measure !current in
@@ -296,34 +461,85 @@ module Pipeline = struct
             if summaries then nest_summaries ctx.options !current else []
           in
           let t0 = now_ms () in
-          let p', events = pass.rewrite ctx !current in
-          let p' = Program.renumber p' in
-          let wall_ms = now_ms () -. t0 in
-          (match Program.validate p' with
-          | Ok () -> ()
-          | Error msg ->
-              invalid_arg
-                (Printf.sprintf "pass %S produced an invalid program: %s"
-                   pass.name msg));
-          let size_after = measure p' in
-          let f_after =
-            if summaries then nest_summaries ctx.options p' else []
+          (* Roll back to the last-good IR: the program is untouched, the
+             failure is recorded in the trace, and the pipeline continues —
+             worst case the untransformed program ships. *)
+          let degrade ~validated ~events reason =
+            record
+              {
+                pass_name = pass.name;
+                ran = true;
+                wall_ms = now_ms () -. t0;
+                size_before;
+                size_after = size_before;
+                f_before;
+                f_after = [];
+                validated;
+                degraded = Some reason;
+                events;
+              }
           in
-          current := p';
-          (match observe with Some f -> f pass.name p' | None -> ());
-          entries :=
-            {
-              pass_name = pass.name;
-              ran = true;
-              wall_ms;
-              size_before;
-              size_after;
-              f_before;
-              f_after;
-              validated = true;
-              events;
-            }
-            :: !entries
+          let accept p' events =
+            let size_after = measure p' in
+            let f_after =
+              if summaries then nest_summaries ctx.options p' else []
+            in
+            current := p';
+            (match observe with Some f -> f pass.name p' | None -> ());
+            record
+              {
+                pass_name = pass.name;
+                ran = true;
+                wall_ms = now_ms () -. t0;
+                size_before;
+                size_after;
+                f_before;
+                f_after;
+                validated = true;
+                degraded = None;
+                events;
+              }
+          in
+          let attempt () =
+            match sabotage pass.name with
+            | `None -> pass.rewrite ctx !current
+            | `Crash ->
+                failwith (Printf.sprintf "%s: chaos-injected crash" pass.name)
+            | `Corrupt ->
+                (* ship the real result minus one assignment: still
+                   structurally plausible, semantically wrong *)
+                let p', events = pass.rewrite ctx !current in
+                (corrupt_program p', events)
+          in
+          match attempt () with
+          | exception e ->
+              let reason =
+                Printf.sprintf "pass crashed: %s" (Printexc.to_string e)
+              in
+              if failsafe then degrade ~validated:true ~events:[] reason
+              else
+                Memclust_util.Error.raise_err
+                  (Memclust_util.Error.Pass_failed
+                     { pass = pass.name; reason })
+          | p', events -> (
+              let p' = Program.renumber p' in
+              match Program.validate p' with
+              | Error msg ->
+                  let detail = "invalid IR: " ^ msg in
+                  if failsafe then degrade ~validated:false ~events detail
+                  else
+                    Memclust_util.Error.raise_err
+                      (Memclust_util.Error.Legality_violation
+                         { pass = pass.name; detail })
+              | Ok () -> (
+                  match divergence p' with
+                  | Some detail ->
+                      if failsafe then degrade ~validated:false ~events detail
+                      else
+                        Memclust_util.Error.raise_err
+                          (Memclust_util.Error.Legality_violation
+                             { pass = pass.name; detail })
+                  | None -> accept p' events))
         end)
       passes;
     ( !current,
@@ -332,6 +548,11 @@ module Pipeline = struct
         entries = List.rev !entries;
         total_ms = now_ms () -. t_start;
       } )
+
+  let run_result ?summaries ?observe ctx passes p =
+    match run ?summaries ?observe ctx passes p with
+    | v -> Ok v
+    | exception Memclust_util.Error.Error e -> Error e
 
   (* ---------------------------- rendering --------------------------- *)
 
@@ -346,7 +567,13 @@ module Pipeline = struct
             "  %-14s %7.2f ms  stmts %d->%d  refs %d->%d  [%s]@," e.pass_name
             e.wall_ms e.size_before.stmts e.size_after.stmts
             e.size_before.static_refs e.size_after.static_refs
-            (if e.validated then "ok" else "INVALID");
+            (match e.degraded with
+            | Some _ -> "DEGRADED"
+            | None -> if e.validated then "ok" else "INVALID");
+          (match e.degraded with
+          | Some reason ->
+              Format.fprintf ppf "      rolled back: %s@," reason
+          | None -> ());
           List.iter
             (fun ev -> Format.fprintf ppf "      %s@," (event_label ev))
             e.events
@@ -387,10 +614,13 @@ module Pipeline = struct
 
   let entry_to_json e =
     Printf.sprintf
-      "{\"name\":\"%s\",\"ran\":%b,\"wall_ms\":%s,\"stmts_before\":%d,\"stmts_after\":%d,\"refs_before\":%d,\"refs_after\":%d,\"validated\":%b,\"f_before\":%s,\"f_after\":%s,\"events\":[%s]}"
+      "{\"name\":\"%s\",\"ran\":%b,\"wall_ms\":%s,\"stmts_before\":%d,\"stmts_after\":%d,\"refs_before\":%d,\"refs_after\":%d,\"validated\":%b,\"degraded\":%s,\"f_before\":%s,\"f_after\":%s,\"events\":[%s]}"
       (json_escape e.pass_name) e.ran (json_float e.wall_ms)
       e.size_before.stmts e.size_after.stmts e.size_before.static_refs
       e.size_after.static_refs e.validated
+      (match e.degraded with
+      | Some r -> "\"" ^ json_escape r ^ "\""
+      | None -> "null")
       (summaries_to_json e.f_before)
       (summaries_to_json e.f_after)
       (String.concat ","

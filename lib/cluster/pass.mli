@@ -24,6 +24,20 @@ type scheduler =
   | Balanced  (** statement-level balanced scheduling (comparison baseline) *)
   | No_schedule
 
+type chaos = {
+  chaos_seed : int;
+  chaos_rate : float;
+      (** per-pass sabotage probability; each sabotage is a crash
+          (exception mid-rewrite) or a corruption (semantically wrong
+          result), drawn deterministically from the seed *)
+  fail_pass : string option;
+      (** a pass name to corrupt unconditionally ([uniquify] is never
+          sabotaged: later passes key nests by its unique variables) *)
+}
+(** Chaos testing for the fail-safe pipeline: deterministic, seeded
+    sabotage of passes, so graceful degradation is exercisable
+    end-to-end. *)
+
 type options = {
   machine : Machine_model.t;
   profile_pm : bool;  (** measure P_m by cache profiling (needs [init]) *)
@@ -37,9 +51,22 @@ type options = {
       (** strip-mine-and-interchange top-level 2-nests (§2.2 comparison,
           off) *)
   do_prefetch : bool;  (** software prefetch insertion after clustering (off) *)
+  failsafe : bool;
+      (** guard every pass (default): a pass that crashes, produces
+          invalid IR or changes program semantics is rolled back and
+          recorded as degraded instead of failing the pipeline *)
+  chaos : chaos option;  (** sabotage injection; [None] (default) also
+                             consults {!chaos_of_env} at run time *)
 }
 
 val default_options : options
+
+val chaos_of_env : unit -> chaos option
+(** The [MEMCLUST_CHAOS_PASSES] ("SEED[:RATE]", rate defaulting to 0.25)
+    and [MEMCLUST_FAIL_PASS] (a pass name) environment variables — how
+    the repro CLI reaches pipelines constructed deep inside the harness.
+    [None] when neither is set; raises [Invalid_argument] on malformed
+    values. *)
 
 type ctx = { options : options; init : (Data.t -> unit) option }
 (** What every pass may consult: the machine/flag options and the
@@ -133,10 +160,19 @@ module Pipeline : sig
     f_before : nest_summary list;
     f_after : nest_summary list;
     validated : bool;
+        (** false only on a degraded entry whose candidate failed
+            validation or differential execution *)
+    degraded : string option;
+        (** [Some reason]: the pass failed its guard (crash, invalid IR,
+            or semantic divergence) and was rolled back — the program
+            shipped to the next pass is the last-good IR *)
     events : event list;
   }
 
   type trace = { program_name : string; entries : entry list; total_ms : float }
+
+  val degraded_passes : trace -> (string * string) list
+  (** [(pass, reason)] for every degraded entry, in pipeline order. *)
 
   val measure : program -> ir_size
 
@@ -152,11 +188,32 @@ module Pipeline : sig
     t list ->
     program ->
     program * trace
-  (** Run the enabled passes in order. After every pass the program is
-      renumbered and validated — an invalid result raises
-      [Invalid_argument] naming the pass. [observe] is called with the
-      pass name and the (renumbered, validated) program after each pass
-      that ran. [summaries:false] skips the f/α trace summaries. *)
+  (** Run the enabled passes in order, each under the fail-safe guard:
+      the result is renumbered, re-validated and — when the context has a
+      workload initializer and the source program fits the interpreter
+      op budget — differentially executed against the {e original}
+      program's final store. With [options.failsafe] (the default) a
+      pass that crashes, produces invalid IR or diverges semantically is
+      rolled back: the trace entry records [degraded] with the reason and
+      the pipeline continues from the last-good IR, so the worst case
+      ships the untransformed program, never a crash or wrong code. With
+      [failsafe = false] the same detections raise
+      [Memclust_util.Error.Error] ([Pass_failed] or
+      [Legality_violation]) naming the pass.
+
+      [observe] is called with the pass name and the accepted program
+      after each pass that ran and was not rolled back.
+      [summaries:false] skips the f/α trace summaries. *)
+
+  val run_result :
+    ?summaries:bool ->
+    ?observe:(string -> program -> unit) ->
+    ctx ->
+    t list ->
+    program ->
+    (program * trace, Memclust_util.Error.t) result
+  (** {!run} with the [failsafe = false] errors returned instead of
+      raised. *)
 
   val pp_trace : Format.formatter -> trace -> unit
 

@@ -173,6 +173,10 @@ let execute_cached spec =
       Analysis_cache.set outcome_cache key o;
       o
 
+let execute_result spec =
+  Memclust_util.Error.guard ~task:(spec_key spec) (fun () ->
+      execute_cached spec)
+
 let clear_caches () = Analysis_cache.clear_all ()
 
 let exec_cycles o = o.result.Machine.cycles

@@ -72,6 +72,11 @@ val execute_cached : spec -> outcome
     (the memo tables are mutex-guarded; racing domains may duplicate
     deterministic work, never corrupt state). *)
 
+val execute_result : spec -> (outcome, Memclust_util.Error.t) result
+(** {!execute_cached} with every failure — simulator deadlock, pass
+    pipeline error, crash — caught into a structured error naming the
+    spec, so one wedged point cannot poison a whole figure. *)
+
 val clear_caches : unit -> unit
 (** Drop every memoized clustering, lowering, simulation and outcome
     (process-wide — clears all registered {!Memclust_util.Analysis_cache}

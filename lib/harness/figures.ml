@@ -17,7 +17,11 @@ let run ~config ~nprocs ~version w =
 
 (* Each figure's experiment points are independent (workload, config,
    nprocs, version) simulations: evaluate them across the shared domain
-   pool first, then assemble the tables from the (now warm) memo cache. *)
+   pool first, then assemble the tables from the (now warm) memo cache.
+   The fan-out is crash-contained: a point that deadlocks or crashes is
+   logged and dropped here, and only the figure that later reads it
+   (inline, under run_safe's guard) degrades — the others still come
+   from the warm cache. *)
 let prewarm specs =
   let seen = Hashtbl.create 16 in
   let unique =
@@ -31,8 +35,19 @@ let prewarm specs =
         end)
       specs
   in
-  ignore
-    (Domain_pool.map (Domain_pool.default ()) Experiment.execute_cached unique)
+  let results =
+    Domain_pool.map_result ~task_name:Experiment.spec_key
+      (Domain_pool.default ())
+      Experiment.execute_cached unique
+  in
+  List.iter2
+    (fun s r ->
+      match r with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "[degraded] %s: %s\n%!" (Experiment.spec_key s)
+            (Memclust_util.Error.to_string e))
+    unique results
 
 let base_and_clustered ~config ~nprocs w =
   [
@@ -460,24 +475,41 @@ let ablation () =
   in
   let workloads = List.filter_map Registry.by_name apps in
   (* fan the independent (workload x pipeline-variant) points — plus the
-     untransformed baselines — out over the domain pool *)
+     untransformed baselines — out over the domain pool. Crash-contained:
+     a variant that dies shows a degraded cell, a baseline that dies
+     degrades only that workload's rows. *)
   let pool = Domain_pool.default () in
   let bases =
-    Domain_pool.map pool
-      (fun w ->
-        ( w.Workload.name,
-          simulate w (Memclust_ir.Program.renumber w.Workload.program) ))
+    List.map2
+      (fun w r -> (w.Workload.name, r))
+      workloads
+      (Domain_pool.map_result
+         ~task_name:(fun w -> "ablation-base " ^ w.Workload.name)
+         pool
+         (fun w ->
+           simulate w (Memclust_ir.Program.renumber w.Workload.program))
+         workloads)
+  in
+  let variant_points =
+    List.concat_map
+      (fun w -> List.map (fun so -> (w, so)) stage_options)
       workloads
   in
   let variants =
-    Domain_pool.map pool
-      (fun (w, (label, options)) ->
-        Printf.eprintf "[run] ablation %s %s...\n%!" w.Workload.name label;
-        let p, _ = Driver.run ~options ~init:w.Workload.init w.Workload.program in
-        (w.Workload.name, label, simulate w p))
-      (List.concat_map
-         (fun w -> List.map (fun so -> (w, so)) stage_options)
-         workloads)
+    List.map2
+      (fun (w, (label, _)) r -> (w.Workload.name, label, r))
+      variant_points
+      (Domain_pool.map_result
+         ~task_name:(fun (w, (label, _)) ->
+           Printf.sprintf "ablation %s %s" w.Workload.name label)
+         pool
+         (fun (w, (label, options)) ->
+           Printf.eprintf "[run] ablation %s %s...\n%!" w.Workload.name label;
+           let p, _ =
+             Driver.run ~options ~init:w.Workload.init w.Workload.program
+           in
+           simulate w p)
+         variant_points)
   in
   let rows =
     List.concat_map
@@ -494,12 +526,15 @@ let ablation () =
                 variants
               |> Option.get
             in
-            [
-              (if i = 0 then name else "");
-              label;
-              Table.fmt_float ~decimals:1
-                (reduction_pct base.Machine.cycles r.Machine.cycles);
-            ])
+            let cell =
+              match (base, r) with
+              | Ok base, Ok r ->
+                  Table.fmt_float ~decimals:1
+                    (reduction_pct base.Machine.cycles r.Machine.cycles)
+              | Error e, _ | _, Error e ->
+                  "degraded: " ^ Memclust_util.Error.kind e
+            in
+            [ (if i = 0 then name else ""); label; cell ])
           stage_options)
       workloads
   in
@@ -597,3 +632,13 @@ let by_id = function
   | "ablation" -> Some ablation
   | "mshrsweep" -> Some mshr_sweep
   | _ -> None
+
+(* one wedged or crashing artifact degrades to an error report instead of
+   taking down the sibling artifacts of the same invocation *)
+let run_safe id =
+  match by_id id with
+  | None ->
+      Error
+        (Memclust_util.Error.Config_invalid
+           { config = id; reason = "unknown experiment id" })
+  | Some f -> Memclust_util.Error.guard ~task:("experiment " ^ id) f

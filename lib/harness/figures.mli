@@ -57,3 +57,9 @@ val all_ids : string list
 (** [paper_ids @ extension_ids]. *)
 
 val by_id : string -> (unit -> string) option
+
+val run_safe : string -> (string, Memclust_util.Error.t) result
+(** Render one artifact with every failure — watchdog deadlock, pipeline
+    error, worker crash — caught into a structured error, so a batch of
+    artifacts degrades per-artifact instead of aborting wholesale.
+    Unknown ids yield [Config_invalid]. *)

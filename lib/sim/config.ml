@@ -33,6 +33,7 @@ type t = {
   skewed_interleave : bool;
   smp : bool;
   sim_mode : string option;
+  faults : Faults.plan option;
 }
 
 let levels t = t.levels
@@ -84,6 +85,7 @@ let base =
     skewed_interleave = false;
     smp = false;
     sim_mode = None;
+    faults = None;
   }
 
 let exemplar_like =
@@ -139,6 +141,14 @@ let with_line line t =
 
 let with_sim_mode mode t = { t with sim_mode = Some mode }
 
+let with_faults plan t = { t with faults = Some plan }
+
+(* the plan for runs of this config: an explicit [faults] field wins,
+   otherwise the MEMCLUST_FAULTS environment variable (how the repro CLI
+   reaches configs constructed deep inside the harness) *)
+let resolve_faults t =
+  match t.faults with Some p -> Some p | None -> Faults.of_env ()
+
 let ghz t =
   {
     t with
@@ -160,7 +170,12 @@ let ghz t =
 let is_pow2 v = v > 0 && v land (v - 1) = 0
 
 let validate t =
-  let err fmt = Printf.ksprintf (fun m -> Error (t.name ^ ": " ^ m)) fmt in
+  let err fmt =
+    Printf.ksprintf
+      (fun reason ->
+        Error (Memclust_util.Error.Config_invalid { config = t.name; reason }))
+      fmt
+  in
   if t.levels = [] then err "at least one cache level is required"
   else if t.fetch_width <= 0 || t.issue_width <= 0 || t.retire_width <= 0 then
     err "pipeline widths must be positive"
@@ -199,7 +214,10 @@ let validate t =
   end
 
 let validate_exn t =
-  match validate t with Ok () -> () | Error m -> invalid_arg ("Config.validate: " ^ m)
+  match validate t with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg ("Config.validate: " ^ Memclust_util.Error.to_string e)
 
 let pp_level ppf (i, l) =
   Format.fprintf ppf "L%d %dKB/%d-way %dB lat %d (%d MSHRs)" (i + 1)

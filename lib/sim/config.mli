@@ -50,6 +50,10 @@ type t = {
           ["sampled\[:period:window\[:warmup\]\]"]). [None] (the presets'
           value) defers to the [MEMCLUST_SIM_MODE] environment variable,
           then the exact event-driven mode. *)
+  faults : Faults.plan option;
+      (** fault-injection plan for the memory system of runs of this
+          config. [None] (the presets' value) defers to the
+          [MEMCLUST_FAULTS] environment variable, then no faults. *)
 }
 
 val levels : t -> level list
@@ -97,17 +101,25 @@ val with_sim_mode : string -> t -> t
     {!Machine.resolve_mode} at run time; an unparsable string fails
     there). *)
 
+val with_faults : Faults.plan -> t -> t
+(** Pin a fault-injection plan for runs of this config. *)
+
+val resolve_faults : t -> Faults.plan option
+(** The plan actually used: the [faults] field if set, otherwise
+    [MEMCLUST_FAULTS] from the environment, otherwise [None]. *)
+
 val ghz : t -> t
 (** 1 GHz variant: identical memory system in ns, so all memory-side
     latencies (every level but the L1 included) double in cycles (§5.2). *)
 
-val validate : t -> (unit, string) result
+val validate : t -> (unit, Memclust_util.Error.t) result
 (** Structural sanity: at least one level; positive widths, window,
     functional units, write buffer, banks and per-level MSHR counts;
     power-of-two line and cache sizes; capacity at least one set; sizes
-    and line sizes non-decreasing toward memory. *)
+    and line sizes non-decreasing toward memory. Errors are
+    [Config_invalid] naming the config and the offending field. *)
 
 val validate_exn : t -> unit
-(** Raises [Invalid_argument] with {!validate}'s message. *)
+(** Raises [Invalid_argument] with {!validate}'s rendered message. *)
 
 val pp : Format.formatter -> t -> unit

@@ -550,6 +550,7 @@ let late_prefetches t = Hierarchy.late_prefetches t.h
 
 let level_stats t = Hierarchy.level_stats t.h
 let hierarchy_depth t = Hierarchy.depth t.h
+let mshr_occupancy_by_level t = Hierarchy.mshr_occupancy_by_level t.h
 
 (* ------------------------------------------------------------------ *)
 (* Functional warming (sampled mode).

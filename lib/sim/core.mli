@@ -101,6 +101,10 @@ val level_stats : t -> Breakdown.level_stat array
 
 val hierarchy_depth : t -> int
 
+val mshr_occupancy_by_level : t -> (int * int) array
+(** This processor's per-level MSHR [(occupancy, capacity)] pairs (see
+    {!Hierarchy.mshr_occupancy_by_level}); for deadlock state dumps. *)
+
 (** {2 Functional warming (sampled mode)}
 
     Architectural side effects only — cache contents, coherence versions,

@@ -295,6 +295,11 @@ let next_completion t =
 let read_occupancy t = Mshr.read_occupancy (bottom t).mshr
 let total_occupancy t = Mshr.occupancy (bottom t).mshr
 
+(* (occupancy, capacity) of every level's MSHR file, processor side
+   first — the watchdog's state dump *)
+let mshr_occupancy_by_level t =
+  Array.map (fun lvl -> (Mshr.occupancy lvl.mshr, Mshr.capacity lvl.mshr)) t.levels
+
 (* statistics *)
 let mem_misses t = t.mem_misses
 let read_misses t = t.read_misses

@@ -63,6 +63,10 @@ val read_occupancy : t -> int
 
 val total_occupancy : t -> int
 
+val mshr_occupancy_by_level : t -> (int * int) array
+(** [(occupancy, capacity)] of every level's MSHR file, processor side
+    first — the watchdog's deadlock state dump. *)
+
 (** {2 Statistics} *)
 
 val mem_misses : t -> int

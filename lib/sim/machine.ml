@@ -79,12 +79,34 @@ type engine = {
   total_hist : Stats.Histogram.t;
   mutable cycle : int;
   max_cycles : int;
+  (* forward-progress watchdog (reads state only: the happy path stays
+     bit-identical with it enabled) *)
+  watchdog_cycles : int;
+  time_budget : float;  (* wall-clock seconds; 0 disables *)
+  start_wall : float;
+  mutable last_progress : int;  (* cycle of the last core state change *)
+  mutable wd_iters : int;  (* loop iterations, for cheap periodic checks *)
+  mutable mode_name : string;
 }
 
 type stepping = Step_cycle | Step_event
 
-let make_engine ?(max_cycles = 400_000_000) (cfg : Config.t) ~home
-    (lower : Lower.t) =
+let default_watchdog_cycles () =
+  match
+    Option.bind (Sys.getenv_opt "MEMCLUST_WATCHDOG_CYCLES") int_of_string_opt
+  with
+  | Some v when v > 0 -> v
+  | _ -> 1_000_000
+
+let default_time_budget () =
+  match
+    Option.bind (Sys.getenv_opt "MEMCLUST_TIME_BUDGET_S") float_of_string_opt
+  with
+  | Some v when v > 0.0 -> v
+  | _ -> 0.0
+
+let make_engine ?(max_cycles = 400_000_000) ?watchdog_cycles ?time_budget
+    (cfg : Config.t) ~home (lower : Lower.t) =
   let nprocs = Array.length lower.Lower.traces in
   let sh = Core.make_shared cfg ~nprocs ~home in
   let procs =
@@ -97,7 +119,57 @@ let make_engine ?(max_cycles = 400_000_000) (cfg : Config.t) ~home
     total_hist = Stats.Histogram.create (Config.lp cfg + 1);
     cycle = 0;
     max_cycles;
+    watchdog_cycles =
+      (match watchdog_cycles with
+      | Some v when v > 0 -> v
+      | _ -> default_watchdog_cycles ());
+    time_budget =
+      (match time_budget with
+      | Some v when v > 0.0 -> v
+      | _ -> default_time_budget ());
+    start_wall = Unix.gettimeofday ();
+    last_progress = 0;
+    wd_iters = 0;
+    mode_name = "event";
   }
+
+(* The watchdog's state dump: per-proc PC, barrier progress, per-level
+   MSHR occupancy and the pending completion events — everything needed
+   to diagnose a wedge (MSHR exhaustion, barrier livelock) post mortem. *)
+let state_dump e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "simulator state at cycle %d:" e.cycle);
+  Array.iteri
+    (fun p c ->
+      let mshrs =
+        Core.mshr_occupancy_by_level c
+        |> Array.to_list
+        |> List.mapi (fun i (occ, cap) ->
+               Printf.sprintf "L%d %d/%d" (i + 1) occ cap)
+        |> String.concat " "
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  proc %d: pc %d/%d%s, barrier %d, mshrs [%s], next event %s"
+           p (Core.position c)
+           (Trace.length (Core.trace c))
+           (if Core.finished c then " (finished)" else "")
+           e.sh.Core.reached.(p) mshrs
+           (match Core.next_event c ~now:e.cycle with
+           | Some n -> string_of_int n
+           | None -> "none")))
+    e.procs;
+  Buffer.contents b
+
+let deadlock e ~reason =
+  Error.raise_err
+    (Error.Sim_deadlock
+       {
+         cycle = e.cycle;
+         mode = e.mode_name;
+         reason;
+         state_dump = state_dump e;
+       })
 
 (* Run the lockstep loop until the machine quiesces (returns [false]) or
    [stop] fires right after a cycle advance (returns [true]); a stopped
@@ -107,11 +179,24 @@ let advance e stepping ~stop =
   let nprocs = Array.length e.procs in
   let live = ref true in
   let go = ref true in
+  (* the legs between [advance] calls (sampled-mode fast-forwards) are
+     not the engine's to police: forgive them, watch within this call *)
+  e.last_progress <- e.cycle;
   while !go do
     if e.cycle > e.max_cycles then
-      failwith
-        (Printf.sprintf "Machine.run: exceeded %d cycles (deadlock?)"
-           e.max_cycles);
+      deadlock e
+        ~reason:
+          (Printf.sprintf "exceeded the %d-cycle simulation budget"
+             e.max_cycles);
+    e.wd_iters <- e.wd_iters + 1;
+    if
+      e.time_budget > 0.0
+      && e.wd_iters land 8191 = 0
+      && Unix.gettimeofday () -. e.start_wall > e.time_budget
+    then
+      deadlock e
+        ~reason:
+          (Printf.sprintf "exceeded the %.1fs wall-clock budget" e.time_budget);
     let running = ref false in
     let any_progress = ref false in
     for p = 0 to nprocs - 1 do
@@ -129,6 +214,14 @@ let advance e stepping ~stop =
       Stats.Histogram.add e.total_hist (Core.mshr_total_occupancy e.procs.(p))
     done;
     if !running then begin
+      if !any_progress then e.last_progress <- e.cycle
+      else if e.cycle - e.last_progress > e.watchdog_cycles then
+        deadlock e
+          ~reason:
+            (Printf.sprintf
+               "no core issued, retired or completed an event for %d cycles \
+                (watchdog budget %d)"
+               (e.cycle - e.last_progress) e.watchdog_cycles);
       (match stepping with
       | Step_cycle -> e.cycle <- e.cycle + 1
       | Step_event when !any_progress -> e.cycle <- e.cycle + 1
@@ -147,9 +240,13 @@ let advance e stepping ~stop =
           done;
           match !next with
           | n when n = max_int ->
-              (* nothing pending anywhere: a genuine deadlock; trip the
-                 same guard the cycle loop eventually hits *)
-              e.cycle <- e.max_cycles + 1
+              (* nothing pending anywhere yet cores are unfinished: a
+                 genuine deadlock — report it now with the machine state
+                 instead of spinning to the cycle budget *)
+              deadlock e
+                ~reason:
+                  "no completion pending on any processor and no core can \
+                   make progress"
           | n ->
               let skip = n - e.cycle - 1 in
               if skip > 0 then begin
@@ -532,9 +629,11 @@ let run_sampled e (sp : Sampling.params) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_estimated ?max_cycles ?mode (cfg : Config.t) ~home (lower : Lower.t) =
+let run_estimated ?max_cycles ?watchdog_cycles ?time_budget ?mode
+    (cfg : Config.t) ~home (lower : Lower.t) =
   let mode = resolve_mode ?mode cfg in
-  let e = make_engine ?max_cycles cfg ~home lower in
+  let e = make_engine ?max_cycles ?watchdog_cycles ?time_budget cfg ~home lower in
+  e.mode_name <- mode_to_string mode;
   match mode with
   | Cycle ->
       ignore (advance e Step_cycle ~stop:(fun () -> false));
@@ -546,8 +645,10 @@ let run_estimated ?max_cycles ?mode (cfg : Config.t) ~home (lower : Lower.t) =
       let result, est = run_sampled e sp in
       (result, Some est)
 
-let run ?max_cycles ?mode cfg ~home lower =
-  fst (run_estimated ?max_cycles ?mode cfg ~home lower)
+let run ?max_cycles ?watchdog_cycles ?time_budget ?mode cfg ~home lower =
+  fst
+    (run_estimated ?max_cycles ?watchdog_cycles ?time_budget ?mode cfg ~home
+       lower)
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -67,21 +67,36 @@ val resolve_mode : ?mode:mode -> Config.t -> mode
 
 val run :
   ?max_cycles:int ->
+  ?watchdog_cycles:int ->
+  ?time_budget:float ->
   ?mode:mode ->
   Config.t ->
   home:(int -> int) ->
   Lower.t ->
   result
 (** Simulate the traces to completion. [home] maps byte addresses to their
-    home node. [mode] defaults to {!resolve_mode} of the config. Raises
-    [Failure] if [max_cycles] (default 400 million) is exceeded — a
-    deadlock guard. In [Sampled] mode the result's counters are
-    extrapolated estimates; MSHR histograms cover only the detailed
-    windows, and bus/bank utilizations are measured over the detailed
-    cycles. *)
+    home node. [mode] defaults to {!resolve_mode} of the config.
+
+    A wedged machine never hangs: the run raises
+    [Error.Error (Sim_deadlock _)] — carrying the per-proc PCs, barrier
+    progress, per-level MSHR occupancies and pending completion events —
+    when (a) [max_cycles] (default 400 million) is exceeded, (b) no core
+    changes state for [watchdog_cycles] consecutive simulated cycles
+    (default 1 million, or the [MEMCLUST_WATCHDOG_CYCLES] environment
+    variable), (c) event mode finds unfinished cores with no pending
+    completion anywhere, or (d) the optional wall-clock budget
+    [time_budget] seconds (or [MEMCLUST_TIME_BUDGET_S]; 0 = disabled,
+    the default) runs out. The watchdog only reads simulator state, so
+    results on non-wedged runs are bit-identical with it enabled.
+
+    In [Sampled] mode the result's counters are extrapolated estimates;
+    MSHR histograms cover only the detailed windows, and bus/bank
+    utilizations are measured over the detailed cycles. *)
 
 val run_estimated :
   ?max_cycles:int ->
+  ?watchdog_cycles:int ->
+  ?time_budget:float ->
   ?mode:mode ->
   Config.t ->
   home:(int -> int) ->

@@ -10,6 +10,8 @@ type t = {
   bank_free : int array array;  (* node x bank *)
   mutable bus_busy_total : int;
   mutable bank_busy_total : int;
+  (* fault injection (None on the happy path: zero cost, bit-identical) *)
+  inj : Faults.injector option;
 }
 
 (* 2D-mesh Manhattan distance between two nodes laid out row-major on the
@@ -32,6 +34,10 @@ let create (cfg : Config.t) ~nprocs =
     bank_free = Array.make_matrix nodes cfg.Config.banks 0;
     bus_busy_total = 0;
     bank_busy_total = 0;
+    inj =
+      (match Config.resolve_faults cfg with
+      | Some p when Faults.is_active p -> Some (Faults.make p)
+      | _ -> None);
   }
 
 (* Bank selection: permutation interleaving XOR-folds higher line bits so
@@ -44,17 +50,24 @@ let bank_of t line =
 
 let request t ~proc ~home ~kind ~line ~now =
   let cfg = t.cfg in
+  let fault =
+    match t.inj with Some i -> Faults.inject i | None -> Faults.no_fault
+  in
+  (* a NACKed request spends its backoff before re-arbitrating the bus *)
+  let now = now + fault.Faults.pre_delay in
   let req_node = if cfg.Config.smp then 0 else proc in
   let home_node = if cfg.Config.smp then 0 else home in
   (* request on the requester's address bus *)
   let t1 = max now t.abus_free.(req_node) + cfg.Config.bus_req_occ in
   t.abus_free.(req_node) <- t1;
   t.bus_busy_total <- t.bus_busy_total + cfg.Config.bus_req_occ;
-  (* home bank occupancy *)
+  (* home bank occupancy (a transient stall keeps the bank busy longer,
+     back-pressuring later requests to the same bank) *)
   let b = bank_of t line in
-  let t2 = max t1 t.bank_free.(home_node).(b) + cfg.Config.bank_busy in
+  let bank_occ = cfg.Config.bank_busy + fault.Faults.bank_extra in
+  let t2 = max t1 t.bank_free.(home_node).(b) + bank_occ in
   t.bank_free.(home_node).(b) <- t2;
-  t.bank_busy_total <- t.bank_busy_total + cfg.Config.bank_busy;
+  t.bank_busy_total <- t.bank_busy_total + bank_occ;
   (* reply on the requester's data bus *)
   let t3 = max t2 t.dbus_free.(req_node) + cfg.Config.bus_data_occ in
   t.dbus_free.(req_node) <- t3;
@@ -72,7 +85,7 @@ let request t ~proc ~home ~kind ~line ~now =
   let occupancies =
     cfg.Config.bus_req_occ + cfg.Config.bank_busy + cfg.Config.bus_data_occ
   in
-  t3 + max 0 (total_uncontended - occupancies)
+  t3 + max 0 (total_uncontended - occupancies) + fault.Faults.fill_delay
 
 (* Carry the queueing backlog across a sampled-mode fast-forward leg:
    busy-until times still in the future when the clock jumps keep their
@@ -92,6 +105,7 @@ let shift t ~from ~by =
 
 let bus_busy t = t.bus_busy_total
 let bank_busy t = t.bank_busy_total
+let fault_stats t = Option.map Faults.stats t.inj
 
 let bus_utilization t ~upto =
   if upto <= 0 then 0.0

@@ -24,7 +24,7 @@ let rec worker_loop t =
   | None -> Mutex.unlock t.m
   | Some task ->
       Mutex.unlock t.m;
-      (* tasks are wrapped by [map] and never raise *)
+      (* tasks are wrapped by the batch runner and never raise *)
       task ();
       worker_loop t
 
@@ -52,57 +52,122 @@ let create ?domains () =
 
 let size t = Array.length t.workers
 
+(* Schedule [run 0 .. run (n-1)] on the pool and wait for all of them.
+   [run] must not raise. The caller works through the queue too; when it
+   empties (tasks may still be running in workers) it waits for the batch
+   to settle. *)
+let run_batch t n run =
+  let remaining = ref n in
+  let batch_done = Condition.create () in
+  let wrapped i =
+    run i;
+    Mutex.lock t.m;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock t.m
+  in
+  Mutex.lock t.m;
+  for i = 0 to n - 1 do
+    Queue.push (fun () -> wrapped i) t.tasks
+  done;
+  Condition.broadcast t.task_ready;
+  let rec help () =
+    if !remaining > 0 then
+      if not (Queue.is_empty t.tasks) then begin
+        let task = Queue.pop t.tasks in
+        Mutex.unlock t.m;
+        task ();
+        Mutex.lock t.m;
+        help ()
+      end
+      else begin
+        Condition.wait batch_done t.m;
+        help ()
+      end
+  in
+  help ();
+  Mutex.unlock t.m
+
+let inline_only t = Array.length t.workers = 0 || Domain.DLS.get in_worker
+
 let map t f xs =
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
-  | _ when Array.length t.workers = 0 || Domain.DLS.get in_worker ->
-      List.map f xs
+  | _ when inline_only t -> List.map f xs
   | _ ->
       let args = Array.of_list xs in
       let n = Array.length args in
       let results = Array.make n None in
       let first_exn = ref None in
-      let remaining = ref n in
-      let batch_done = Condition.create () in
-      let run i =
-        (match f args.(i) with
-        | v -> results.(i) <- Some v
-        | exception e ->
-            Mutex.lock t.m;
-            if !first_exn = None then first_exn := Some e;
-            Mutex.unlock t.m);
-        Mutex.lock t.m;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast batch_done;
-        Mutex.unlock t.m
-      in
-      Mutex.lock t.m;
-      for i = 0 to n - 1 do
-        Queue.push (fun () -> run i) t.tasks
-      done;
-      Condition.broadcast t.task_ready;
-      (* the caller works through the queue too; when it empties (tasks
-         may still be running in workers) wait for the batch to settle *)
-      let rec help () =
-        if !remaining > 0 then
-          if not (Queue.is_empty t.tasks) then begin
-            let task = Queue.pop t.tasks in
-            Mutex.unlock t.m;
-            task ();
-            Mutex.lock t.m;
-            help ()
-          end
-          else begin
-            Condition.wait batch_done t.m;
-            help ()
-          end
-      in
-      help ();
-      Mutex.unlock t.m;
+      run_batch t n (fun i ->
+          match f args.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              Mutex.lock t.m;
+              if !first_exn = None then first_exn := Some e;
+              Mutex.unlock t.m);
       (match !first_exn with Some e -> raise e | None -> ());
       Array.to_list
-        (Array.map (function Some v -> v | None -> assert false) results)
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Some v -> v
+             | None ->
+                 (* no exception was recorded yet this slot is empty: a
+                    worker died without settling its task. Fail as a
+                    structured per-task error, not a blind assert. *)
+                 Error.raise_err
+                   (Error.Worker_crashed
+                      {
+                        task = Printf.sprintf "task-%d" i;
+                        attempts = 1;
+                        reason = "worker finished without recording a result";
+                      }))
+           results)
+
+let attempt ~attempts ~task f x =
+  let rec go k =
+    match f x with
+    | v -> Ok v
+    | exception e ->
+        if k < attempts then go (k + 1)
+        else Result.Error (Error.of_exn ~task ~attempts e)
+  in
+  go 1
+
+let map_result ?(attempts = 2) ?task_name t f xs =
+  let attempts = max 1 attempts in
+  let name i x =
+    match task_name with
+    | Some g -> g x
+    | None -> Printf.sprintf "task-%d" i
+  in
+  match xs with
+  | [] -> []
+  | _ when inline_only t ->
+      List.mapi (fun i x -> attempt ~attempts ~task:(name i x) f x) xs
+  | _ ->
+      let args = Array.of_list xs in
+      let n = Array.length args in
+      let results = Array.make n None in
+      run_batch t n (fun i ->
+          results.(i) <-
+            Some (attempt ~attempts ~task:(name i args.(i)) f args.(i)));
+      Array.to_list
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Some r -> r
+             | None ->
+                 Result.Error
+                   (Error.Worker_crashed
+                      {
+                        task = name i args.(i);
+                        attempts;
+                        reason = "worker finished without recording a result";
+                      }))
+           results)
 
 let shutdown t =
   Mutex.lock t.m;

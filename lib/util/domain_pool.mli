@@ -29,6 +29,21 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     tasks submitted from inside a worker run inline rather than deadlock
     waiting for a free worker. *)
 
+val map_result :
+  ?attempts:int ->
+  ?task_name:('a -> string) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, Error.t) result list
+(** Crash-contained [map]: never raises. Each task gets up to [attempts]
+    tries (default 2, i.e. one retry — transient failures such as an
+    OOM-killed allocation often succeed on retry); a task that still
+    fails yields [Error] in its slot — [Error.t] as-is if it raised
+    [Error.Error], otherwise [Worker_crashed] naming the task (via
+    [task_name], default ["task-<i>"]) — while every other task's result
+    is preserved. Scheduling behaviour is identical to [map]. *)
+
 val shutdown : t -> unit
 (** Stop and join the workers. Subsequent [map] calls run inline.
     Idempotent. *)

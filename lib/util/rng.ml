@@ -18,7 +18,8 @@ let split t =
   { state = s }
 
 let int t bound =
-  assert (bound > 0);
+  if bound <= 0 then
+    invalid_arg (Printf.sprintf "Rng.int: bound must be > 0, got %d" bound);
   (* mask to OCaml's 63-bit positive range before reducing *)
   let v = Int64.to_int (Int64.shift_right_logical (int64 t) 1) land max_int in
   v mod bound

@@ -20,7 +20,8 @@ val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    naming the offending value when [bound <= 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)

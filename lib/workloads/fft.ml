@@ -6,7 +6,9 @@ let log2 v =
   go v 0
 
 let make ?(m = 64) () =
-  assert (m land (m - 1) = 0);
+  if m <= 0 || m land (m - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Fft.make: row size m must be a power of two, got %d" m);
   let n = m * m in
   let stages = log2 m in
   let program =

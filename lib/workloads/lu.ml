@@ -2,7 +2,10 @@ open Memclust_ir
 open Memclust_util
 
 let make ?(n = 96) ?(block = 16) () =
-  assert (n mod block = 0);
+  if block <= 0 || n mod block <> 0 then
+    invalid_arg
+      (Printf.sprintf "Lu.make: n (%d) must be a positive multiple of block (%d)"
+         n block);
   let nn = n * n in
   let program =
     let open Builder in

@@ -239,7 +239,8 @@ let test_deadlock_guard () =
     (try
        ignore (Machine.run ~max_cycles:3 Config.base ~home:(fun _ -> 0) lowered);
        false
-     with Failure _ -> true)
+     with Memclust_util.Error.Error (Memclust_util.Error.Sim_deadlock _) ->
+       true)
 
 let test_config_presets () =
   Alcotest.(check int) "ghz doubles memory" (2 * Config.base.Config.mem_lat)
@@ -487,7 +488,8 @@ let test_deadlock_guard_event () =
          (Machine.run ~max_cycles:3 ~mode:Machine.Event Config.base
             ~home:(fun _ -> 0) lowered);
        false
-     with Failure _ -> true)
+     with Memclust_util.Error.Error (Memclust_util.Error.Sim_deadlock _) ->
+       true)
 
 (* --------------------------- sampled mode --------------------------- *)
 
